@@ -1,0 +1,200 @@
+// Ablation study: decomposes each composite optimization into its
+// parts and sweeps the design choices DESIGN.md calls out, on
+// 4 clusters x 15 CPUs:
+//
+//   water    — cluster cache alone, write-back reduction alone, both
+//   asp      — centralized vs rotating vs migrating sequencer
+//   ida      — cluster-first order alone, remember-empty alone, both
+//   ra       — node-batch x cluster-batch grid
+//   sor      — original vs split-phase vs chaotic (period 2/3/6)
+//   tsp      — job grain (prefix depth) x queue placement
+//
+//   ./bench_ablation [--study=water|asp|ida|ra|sor|tsp|all]
+
+#include <iostream>
+
+#include "apps/asp.hpp"
+#include "apps/ida.hpp"
+#include "apps/ra.hpp"
+#include "apps/sor.hpp"
+#include "apps/tsp.hpp"
+#include "apps/water.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace alb;
+using namespace alb::bench;
+using namespace alb::apps;
+
+double speedup(sim::SimTime t1, const AppResult& r) {
+  return static_cast<double>(t1) / static_cast<double>(r.elapsed);
+}
+
+void water_study(bool csv) {
+  WaterParams prm = WaterParams::bench_default();
+  sim::SimTime t1 = run_water(make_config(1, 1, false), prm).elapsed;
+  util::Table t({"cache", "reducer", "speedup 60/4", "inter RPC", "inter KB"});
+  for (bool cache : {false, true}) {
+    for (bool reducer : {false, true}) {
+      WaterParams p = prm;
+      p.use_cache = cache;
+      p.use_reducer = reducer;
+      AppResult r = run_water(make_config(4, 15, false), p);
+      t.row()
+          .add(cache ? "on" : "off")
+          .add(reducer ? "on" : "off")
+          .add(speedup(t1, r), 1)
+          .add(static_cast<long long>(r.traffic.inter_rpc_count()))
+          .add(static_cast<long long>(r.traffic.inter_rpc_bytes() / 1024));
+    }
+  }
+  std::cout << "--- Water: cluster cache x write-back reduction ---\n";
+  if (csv) t.print_csv(std::cout);
+  else t.print(std::cout);
+  std::cout << "\n";
+}
+
+void asp_study(bool csv) {
+  AspParams prm = AspParams::bench_default();
+  sim::SimTime t1 = run_asp(make_config(1, 1, false), prm).elapsed;
+  util::Table t({"sequencer", "speedup 60/4", "inter ctrl+bcast msgs"});
+  struct Case {
+    const char* name;
+    orca::SequencerKind kind;
+  };
+  for (const Case& c : {Case{"centralized", orca::SequencerKind::Centralized},
+                        Case{"rotating (paper default)", orca::SequencerKind::Rotating},
+                        Case{"migrating (paper opt)", orca::SequencerKind::Migrating}}) {
+    AspParams p = prm;
+    p.sequencer = c.kind;
+    AppResult r = run_asp(make_config(4, 15, false), p);
+    t.row()
+        .add(c.name)
+        .add(speedup(t1, r), 1)
+        .add(static_cast<long long>(r.traffic.inter_bcast_count()));
+  }
+  std::cout << "--- ASP: broadcast sequencer strategy ---\n";
+  if (csv) t.print_csv(std::cout);
+  else t.print(std::cout);
+  std::cout << "\n";
+}
+
+void ida_study(bool csv) {
+  IdaParams prm = IdaParams::bench_default();
+  sim::SimTime t1 = run_ida(make_config(1, 1, false), prm).elapsed;
+  util::Table t({"cluster-first", "remember-empty", "speedup 60/4",
+                 "remote steal attempts"});
+  for (bool cf : {false, true}) {
+    for (bool re : {false, true}) {
+      IdaParams p = prm;
+      p.cluster_first = cf;
+      p.remember_empty = re;
+      AppResult r = run_ida(make_config(4, 15, false), p);
+      t.row()
+          .add(cf ? "on" : "off")
+          .add(re ? "on" : "off")
+          .add(speedup(t1, r), 1)
+          .add(static_cast<long long>(r.metrics["remote_steal_attempts"]));
+    }
+  }
+  std::cout << "--- IDA*: steal order x remember-empty (§4.6) ---\n";
+  if (csv) t.print_csv(std::cout);
+  else t.print(std::cout);
+  std::cout << "\n";
+}
+
+void ra_study(bool csv) {
+  RaParams prm = RaParams::bench_default();
+  sim::SimTime t1 = run_ra(make_config(1, 1, false), prm).elapsed;
+  util::Table t({"node batch", "cluster batch", "speedup 60/4", "inter data msgs"});
+  for (int nb : {1, 4, 16}) {
+    for (int cb : {0, 64, 256, 1024}) {
+      RaParams p = prm;
+      p.node_batch = nb;
+      p.cluster_batch = cb == 0 ? 1 : cb;
+      AppConfig c = make_config(4, 15, cb != 0);
+      AppResult r = run_ra(c, p);
+      t.row()
+          .add(nb)
+          .add(cb == 0 ? std::string("off") : std::to_string(cb))
+          .add(speedup(t1, r), 1)
+          .add(static_cast<long long>(r.traffic.kind(net::MsgKind::Data).inter_msgs));
+    }
+  }
+  std::cout << "--- RA: node-level x cluster-level combining ---\n";
+  if (csv) t.print_csv(std::cout);
+  else t.print(std::cout);
+  std::cout << "\n";
+}
+
+void sor_study(bool csv) {
+  SorParams prm = SorParams::bench_default();
+  sim::SimTime t1 = run_sor(make_config(1, 1, false), prm).elapsed;
+  util::Table t({"variant", "speedup 60/4", "inter data msgs"});
+  struct Case {
+    const char* name;
+    SorVariant v;
+    int period;
+  };
+  for (const Case& c : {Case{"original (sync exchange)", SorVariant::kOriginal, 3},
+                        Case{"split-phase overlap", SorVariant::kSplitPhase, 3},
+                        Case{"chaotic, drop 1/2", SorVariant::kChaotic, 2},
+                        Case{"chaotic, drop 2/3 (paper)", SorVariant::kChaotic, 3},
+                        Case{"chaotic, drop 5/6", SorVariant::kChaotic, 6}}) {
+    SorParams p = prm;
+    p.variant = c.v;
+    p.chaotic_period = c.period;
+    AppResult r = run_sor(make_config(4, 15, false), p);
+    t.row()
+        .add(c.name)
+        .add(speedup(t1, r), 1)
+        .add(static_cast<long long>(r.traffic.kind(net::MsgKind::Data).inter_msgs));
+  }
+  std::cout << "--- SOR: exchange strategies (iteration count pinned at "
+            << prm.fixed_iterations << ") ---\n";
+  if (csv) t.print_csv(std::cout);
+  else t.print(std::cout);
+  std::cout << "note: chaotic variants trade dropped exchanges for extra\n"
+               "iterations at equal tolerance; see EXPERIMENTS.md.\n\n";
+}
+
+void tsp_study(bool csv) {
+  util::Table t({"job depth", "#jobs grain", "queue", "speedup 60/4"});
+  for (int depth : {3, 4, 5}) {
+    TspParams p = TspParams::bench_default();
+    p.job_depth = depth;
+    sim::SimTime t1 = run_tsp(make_config(1, 1, false), p).elapsed;
+    for (bool opt : {false, true}) {
+      AppResult r = run_tsp(make_config(4, 15, opt), p);
+      t.row()
+          .add(depth)
+          .add(depth == 3 ? "132 coarse" : depth == 4 ? "1320 medium" : "11880 fine")
+          .add(opt ? "per-cluster" : "central")
+          .add(speedup(t1, r), 1);
+    }
+  }
+  std::cout << "--- TSP: job grain x queue placement (§5.2's trade-off) ---\n";
+  if (csv) t.print_csv(std::cout);
+  else t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Options opts;
+  opts.define("study", "all", "water|asp|ida|ra|sor|tsp|all");
+  opts.define_flag("csv", "emit CSV");
+  if (!opts.parse(argc, argv)) return 0;
+  const std::string study = opts.get("study");
+  const bool csv = opts.has_flag("csv");
+  std::cout << "=== Ablations on 4 clusters x 15 CPUs (speedup vs 1 CPU) ===\n\n";
+  if (study == "water" || study == "all") water_study(csv);
+  if (study == "asp" || study == "all") asp_study(csv);
+  if (study == "ida" || study == "all") ida_study(csv);
+  if (study == "ra" || study == "all") ra_study(csv);
+  if (study == "sor" || study == "all") sor_study(csv);
+  if (study == "tsp" || study == "all") tsp_study(csv);
+  return 0;
+}

@@ -1,0 +1,137 @@
+#pragma once
+// Shared harness for the figure/table reproduction benches.
+//
+// The paper's methodology (§4): speedup relative to the one-processor
+// run, measured on 1, 2 and 4 clusters with equal processes per cluster,
+// at 1, 8, 16, 32 and 60 total CPUs. Each bench binary prints the same
+// rows/series as the corresponding paper table or figure; `--csv`
+// switches to machine-readable output.
+
+#include <functional>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "net/presets.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace alb::bench {
+
+using apps::AppConfig;
+using apps::AppResult;
+
+using Runner = std::function<AppResult(const AppConfig&)>;
+
+inline AppConfig make_config(int clusters, int per_cluster, bool optimized,
+                             std::uint64_t seed = 42) {
+  AppConfig c;
+  c.clusters = clusters;
+  c.procs_per_cluster = per_cluster;
+  c.net_cfg = net::das_config(clusters, per_cluster);
+  c.optimized = optimized;
+  c.seed = seed;
+  return c;
+}
+
+/// The CPU counts of the paper's speedup figures.
+inline const std::vector<int>& cpu_points() {
+  static const std::vector<int> pts{1, 8, 16, 32, 60};
+  return pts;
+}
+
+struct SpeedupPoint {
+  int clusters;
+  int cpus;
+  double speedup;
+  sim::SimTime elapsed;
+};
+
+struct SpeedupCurves {
+  sim::SimTime t1 = 0;  // one-processor run time
+  std::vector<SpeedupPoint> points;
+};
+
+/// Runs the full figure sweep for one program variant.
+inline SpeedupCurves run_speedup_sweep(const Runner& run, bool optimized,
+                                       bool quick = false) {
+  SpeedupCurves out;
+  AppResult base = run(make_config(1, 1, optimized));
+  out.t1 = base.elapsed;
+  for (int clusters : {1, 2, 4}) {
+    for (int cpus : cpu_points()) {
+      if (cpus % clusters != 0) continue;
+      int per = cpus / clusters;
+      if (per < 1 || (clusters > 1 && per < 2)) continue;
+      if (clusters == 1 && cpus == 1) {
+        out.points.push_back({1, 1, 1.0, base.elapsed});
+        continue;
+      }
+      if (quick && cpus != 60 && !(clusters == 1 && cpus == 16)) continue;
+      AppResult r = run(make_config(clusters, per, optimized));
+      double s = base.elapsed > 0
+                     ? static_cast<double>(base.elapsed) / static_cast<double>(r.elapsed)
+                     : 0.0;
+      out.points.push_back({clusters, cpus, s, r.elapsed});
+    }
+  }
+  return out;
+}
+
+/// Prints a pair of figure sweeps (original & optimized) in the layout
+/// of the paper's speedup plots.
+inline void print_figure(std::ostream& os, const std::string& title,
+                         const SpeedupCurves& orig, const SpeedupCurves& opt,
+                         bool csv) {
+  util::Table t({"cpus", "orig 1cl", "orig 2cl", "orig 4cl", "opt 1cl", "opt 2cl",
+                 "opt 4cl"});
+  auto find = [](const SpeedupCurves& c, int clusters, int cpus) -> std::optional<double> {
+    for (const auto& p : c.points) {
+      if (p.clusters == clusters && p.cpus == cpus) return p.speedup;
+    }
+    return std::nullopt;
+  };
+  for (int cpus : cpu_points()) {
+    t.row().add(cpus);
+    for (const SpeedupCurves* c : {&orig, &opt}) {
+      for (int clusters : {1, 2, 4}) {
+        auto s = find(*c, clusters, cpus);
+        if (s) t.add(*s, 1);
+        else t.add(std::string("-"));
+      }
+    }
+  }
+  if (csv) {
+    os << "# " << title << "\n";
+    t.print_csv(os);
+  } else {
+    os << "=== " << title << " ===\n";
+    os << "(speedup vs 1 processor; simulated DAS network)\n";
+    t.print(os);
+  }
+  os << "\n";
+}
+
+/// Standard options for figure benches.
+struct FigureOptions {
+  util::Options opts;
+  bool csv = false;
+  bool quick = false;
+  std::uint64_t seed = 42;
+
+  bool parse(int argc, char** argv) {
+    opts.define_flag("csv", "emit CSV instead of aligned tables");
+    opts.define_flag("quick", "run a reduced sweep (60-CPU points only)");
+    opts.define("seed", "42", "workload seed");
+    if (!opts.parse(argc, argv)) return false;
+    csv = opts.has_flag("csv");
+    quick = opts.has_flag("quick");
+    seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+    return true;
+  }
+};
+
+}  // namespace alb::bench

@@ -1,0 +1,91 @@
+// google-benchmark micro-benchmarks of the simulator itself (wall-clock
+// performance of the substrate, not a paper figure): event throughput,
+// coroutine round-trips, network hops and ordered broadcasts.
+
+#include <benchmark/benchmark.h>
+
+#include "net/presets.hpp"
+#include "orca/runtime.hpp"
+#include "orca/shared_object.hpp"
+
+namespace {
+
+using namespace alb;
+
+void BM_EventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      eng.schedule_after(i % 97, [] {});
+    }
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventDispatch)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Channel<int> a(eng);
+    sim::Channel<int> b(eng);
+    const int laps = static_cast<int>(state.range(0));
+    eng.spawn([](sim::Channel<int>& tx, sim::Channel<int>& rx, int n) -> sim::Task<void> {
+      for (int i = 0; i < n; ++i) {
+        tx.send(i);
+        (void)co_await rx.receive();
+      }
+    }(a, b, laps));
+    eng.spawn([](sim::Channel<int>& rx, sim::Channel<int>& tx, int n) -> sim::Task<void> {
+      for (int i = 0; i < n; ++i) {
+        int v = co_await rx.receive();
+        tx.send(v);
+      }
+    }(a, b, laps));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_CoroutinePingPong)->Arg(1 << 10);
+
+void BM_NetworkWanHop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::Network net(eng, net::das_config(2, 4));
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      net::Message m;
+      m.src = i % 4;
+      m.dst = 4 + i % 4;
+      m.bytes = 64;
+      net.send(std::move(m));
+    }
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NetworkWanHop)->Arg(1 << 10);
+
+void BM_OrderedBroadcast(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::Network net(eng, net::das_config(4, 4));
+    orca::Runtime rt(net);
+    auto obj = orca::create_replicated<long long>(rt, 0);
+    const int n = static_cast<int>(state.range(0));
+    rt.spawn_all([&, n](orca::Proc& p) -> sim::Task<void> {
+      if (p.rank != 2) co_return;
+      for (int i = 0; i < n; ++i) {
+        co_await obj.write(p, 32, [](long long& v) { ++v; });
+      }
+    });
+    rt.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OrderedBroadcast)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,5 @@
+// Figure 12: ACP speedup (original; optimized = async-broadcast extension)
+#include "figure_main.hpp"
+int main(int argc, char** argv) {
+  return alb::bench::figure_main(argc, argv, "ACP", "Figure 12: ACP speedup (original; optimized = async-broadcast extension)");
+}

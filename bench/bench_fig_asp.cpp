@@ -1,0 +1,5 @@
+// Figures 5-6: ASP speedup (original vs optimized)
+#include "figure_main.hpp"
+int main(int argc, char** argv) {
+  return alb::bench::figure_main(argc, argv, "ASP", "Figures 5-6: ASP speedup (original vs optimized)");
+}

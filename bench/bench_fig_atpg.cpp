@@ -1,0 +1,5 @@
+// Figures 7-8: ATPG speedup (original vs optimized)
+#include "figure_main.hpp"
+int main(int argc, char** argv) {
+  return alb::bench::figure_main(argc, argv, "ATPG", "Figures 7-8: ATPG speedup (original vs optimized)");
+}

@@ -1,0 +1,5 @@
+// Figure 11: IDA* speedup (original vs optimized)
+#include "figure_main.hpp"
+int main(int argc, char** argv) {
+  return alb::bench::figure_main(argc, argv, "IDA*", "Figure 11: IDA* speedup (original vs optimized)");
+}

@@ -1,0 +1,5 @@
+// Figures 9-10: Retrograde Analysis speedup (original vs optimized)
+#include "figure_main.hpp"
+int main(int argc, char** argv) {
+  return alb::bench::figure_main(argc, argv, "RA", "Figures 9-10: Retrograde Analysis speedup (original vs optimized)");
+}

@@ -1,0 +1,5 @@
+// Figures 13-14: SOR speedup (original vs optimized)
+#include "figure_main.hpp"
+int main(int argc, char** argv) {
+  return alb::bench::figure_main(argc, argv, "SOR", "Figures 13-14: SOR speedup (original vs optimized)");
+}

@@ -1,0 +1,5 @@
+// Figures 3-4: TSP speedup (original vs optimized)
+#include "figure_main.hpp"
+int main(int argc, char** argv) {
+  return alb::bench::figure_main(argc, argv, "TSP", "Figures 3-4: TSP speedup (original vs optimized)");
+}

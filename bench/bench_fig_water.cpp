@@ -1,0 +1,5 @@
+// Figures 1-2: Water speedup (original vs optimized)
+#include "figure_main.hpp"
+int main(int argc, char** argv) {
+  return alb::bench::figure_main(argc, argv, "Water", "Figures 1-2: Water speedup (original vs optimized)");
+}

@@ -1,0 +1,54 @@
+// Sensitivity ablation (§4.4's "slower network" observation and §7's
+// future work): sweep WAN latency and bandwidth independently and report
+// 4-cluster speedups for original and optimized programs. This includes
+// the paper's concrete data point that ATPG degrades visibly at
+// 10 ms / 2 Mbit/s while being insensitive on the DAS WAN.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alb;
+  using namespace alb::bench;
+  util::Options opts;
+  opts.define_flag("csv", "emit CSV");
+  opts.define("app", "ATPG", "application to sweep (or 'all')");
+  if (!opts.parse(argc, argv)) return 0;
+
+  struct WanPoint {
+    const char* name;
+    double rtt_ms;
+    double mbit;
+  };
+  const WanPoint points[] = {
+      {"LAN-like", 0.5, 100.0},  {"DAS ATM", 2.7, 4.53},
+      {"Internet(Sunday)", 8.0, 1.8}, {"slow (ATPG case)", 10.0, 2.0},
+      {"very slow", 30.0, 1.0},
+  };
+
+  util::Table t({"app", "WAN", "rtt ms", "Mbit/s", "orig 60/4", "opt 60/4"});
+  for (const auto& entry : apps::registry()) {
+    if (opts.get("app") != "all" && entry.name != opts.get("app")) continue;
+    AppResult base = entry.run(make_config(1, 1, false));
+    for (const auto& wp : points) {
+      AppConfig cfg = make_config(4, 15, false);
+      cfg.net_cfg = net::custom_wan_config(4, 15, sim::milliseconds(wp.rtt_ms),
+                                           wp.mbit * 1e6);
+      AppResult orig = entry.run(cfg);
+      cfg.optimized = true;
+      AppResult opt = entry.run(cfg);
+      t.row()
+          .add(entry.name)
+          .add(wp.name)
+          .add(wp.rtt_ms, 1)
+          .add(wp.mbit, 2)
+          .add(static_cast<double>(base.elapsed) / orig.elapsed, 1)
+          .add(static_cast<double>(base.elapsed) / opt.elapsed, 1);
+    }
+  }
+  std::cout << "=== WAN sensitivity sweep (4 clusters x 15 CPUs) ===\n";
+  if (opts.has_flag("csv")) t.print_csv(std::cout);
+  else t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,31 @@
+#pragma once
+// Shared main() for the per-application speedup figures (Figures 1-14):
+// runs the original and optimized program over the paper's sweep
+// (1/2/4 clusters x 1..60 CPUs) and prints both curve families.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace alb::bench {
+
+inline int figure_main(int argc, char** argv, const std::string& app_name,
+                       const std::string& figure_label) {
+  FigureOptions fo;
+  if (!fo.parse(argc, argv)) return 0;
+  const apps::AppEntry* entry = nullptr;
+  for (const auto& e : apps::registry()) {
+    if (e.name == app_name) entry = &e;
+  }
+  if (!entry) {
+    std::cerr << "app not in registry: " << app_name << "\n";
+    return 1;
+  }
+  SpeedupCurves orig = run_speedup_sweep(entry->run, /*optimized=*/false, fo.quick);
+  SpeedupCurves opt = run_speedup_sweep(entry->run, /*optimized=*/true, fo.quick);
+  print_figure(std::cout, figure_label, orig, opt, fo.csv);
+  std::cout << "T(1) = " << sim::to_seconds(orig.t1) << " simulated seconds\n";
+  return 0;
+}
+
+}  // namespace alb::bench

@@ -1,0 +1,228 @@
+#include "apps/acp.hpp"
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "core/cluster_reduce.hpp"
+#include "sim/rng.hpp"
+
+namespace alb::apps {
+
+namespace {
+
+constexpr int kDomainSize = 16;
+using Mask = std::uint16_t;
+constexpr Mask kFullDomain = 0xFFFF;
+
+struct Constraint {
+  int a, b;
+  /// allow_ab[va] = mask of b-values compatible with a == va.
+  std::array<Mask, kDomainSize> allow_ab;
+  std::array<Mask, kDomainSize> allow_ba;
+};
+
+struct Csp {
+  int n;
+  std::vector<Constraint> constraints;
+  /// Arcs incident to each variable: (constraint index, revise-side).
+  /// Side 0 revises variable a against b; side 1 revises b against a.
+  std::vector<std::vector<std::pair<int, int>>> arcs_of;
+
+  static Csp generate(const AcpParams& p, std::uint64_t seed) {
+    Csp csp;
+    csp.n = p.variables;
+    sim::Rng rng(seed);
+    const int m = static_cast<int>(p.constraint_density * p.variables / 2.0);
+    csp.constraints.reserve(static_cast<std::size_t>(m));
+    for (int c = 0; c < m; ++c) {
+      Constraint con;
+      con.a = static_cast<int>(rng.uniform_int(0, p.variables - 1));
+      con.b = static_cast<int>(rng.uniform_int(0, p.variables - 1));
+      if (con.a == con.b) con.b = (con.b + 1) % p.variables;
+      con.allow_ab.fill(0);
+      con.allow_ba.fill(0);
+      for (int va = 0; va < kDomainSize; ++va) {
+        for (int vb = 0; vb < kDomainSize; ++vb) {
+          if (rng.uniform() >= p.tightness) {
+            con.allow_ab[static_cast<std::size_t>(va)] |= static_cast<Mask>(1u << vb);
+            con.allow_ba[static_cast<std::size_t>(vb)] |= static_cast<Mask>(1u << va);
+          }
+        }
+      }
+      csp.constraints.push_back(con);
+    }
+    csp.arcs_of.assign(static_cast<std::size_t>(p.variables), {});
+    for (int c = 0; c < m; ++c) {
+      csp.arcs_of[static_cast<std::size_t>(csp.constraints[static_cast<std::size_t>(c)].a)]
+          .emplace_back(c, 0);
+      csp.arcs_of[static_cast<std::size_t>(csp.constraints[static_cast<std::size_t>(c)].b)]
+          .emplace_back(c, 1);
+    }
+    return csp;
+  }
+
+  /// Values of the revised variable that keep support; the work of one
+  /// arc revision.
+  Mask revise_mask(int cons, int side, Mask target_dom, Mask other_dom) const {
+    const Constraint& con = constraints[static_cast<std::size_t>(cons)];
+    const auto& allow = side == 0 ? con.allow_ab : con.allow_ba;
+    Mask keep = 0;
+    for (int v = 0; v < kDomainSize; ++v) {
+      if ((target_dom >> v) & 1) {
+        if (allow[static_cast<std::size_t>(v)] & other_dom) keep |= static_cast<Mask>(1u << v);
+      }
+    }
+    return keep;
+  }
+
+  int revised_var(int cons, int side) const {
+    const Constraint& c = constraints[static_cast<std::size_t>(cons)];
+    return side == 0 ? c.a : c.b;
+  }
+  int other_var(int cons, int side) const {
+    const Constraint& c = constraints[static_cast<std::size_t>(cons)];
+    return side == 0 ? c.b : c.a;
+  }
+};
+
+std::uint64_t domains_checksum(const std::vector<Mask>& dom) {
+  std::uint64_t h = kHashSeed;
+  for (Mask m : dom) h = hash_mix(h, m);
+  return h;
+}
+
+/// The replicated domain board: the current domains plus an append-only
+/// change log that lets each process discover which variables shrank.
+struct DomainBoard {
+  std::vector<Mask> dom;
+  std::vector<std::int32_t> log;
+};
+
+}  // namespace
+
+std::uint64_t acp_reference_checksum(const AcpParams& params, std::uint64_t seed) {
+  Csp csp = Csp::generate(params, seed);
+  std::vector<Mask> dom(static_cast<std::size_t>(csp.n), kFullDomain);
+  std::deque<std::pair<int, int>> work;  // (constraint, side)
+  for (int c = 0; c < static_cast<int>(csp.constraints.size()); ++c) {
+    work.emplace_back(c, 0);
+    work.emplace_back(c, 1);
+  }
+  while (!work.empty()) {
+    auto [c, side] = work.front();
+    work.pop_front();
+    const int tgt = csp.revised_var(c, side);
+    const int oth = csp.other_var(c, side);
+    Mask keep = csp.revise_mask(c, side, dom[static_cast<std::size_t>(tgt)],
+                                dom[static_cast<std::size_t>(oth)]);
+    if (keep != dom[static_cast<std::size_t>(tgt)]) {
+      dom[static_cast<std::size_t>(tgt)] = keep;
+      for (auto [c2, s2] : csp.arcs_of[static_cast<std::size_t>(tgt)]) {
+        // Re-revise the *other* side of every arc touching tgt.
+        int flip = 1 - s2;
+        if (csp.revised_var(c2, flip) != tgt) work.emplace_back(c2, flip);
+      }
+    }
+  }
+  return domains_checksum(dom);
+}
+
+AppResult run_acp(const AppConfig& cfg, const AcpParams& params) {
+  Harness h(cfg);
+  const int P = cfg.total_procs();
+  Csp csp = Csp::generate(params, cfg.seed);
+
+  DomainBoard init;
+  init.dom.assign(static_cast<std::size_t>(csp.n), kFullDomain);
+  auto board = orca::create_replicated<DomainBoard>(h.rt, init);
+
+  std::vector<long long> issued(static_cast<std::size_t>(P), 0);
+  constexpr std::size_t kUpdateBytes = 8;
+
+  AppResult result = h.finish([&, params](orca::Proc& p) -> sim::Task<void> {
+    auto owns = [&](int var) { return var % P == p.rank; };
+
+    // Revises one arc against the local replica; issues a write if the
+    // target domain shrinks. Returns whether a write was issued.
+    auto revise = [&](int cons, int side) -> std::optional<std::pair<int, Mask>> {
+      const int tgt = csp.revised_var(cons, side);
+      const int oth = csp.other_var(cons, side);
+      const DomainBoard& b = board.local(p);
+      Mask keep = csp.revise_mask(cons, side, b.dom[static_cast<std::size_t>(tgt)],
+                                  b.dom[static_cast<std::size_t>(oth)]);
+      if (keep == b.dom[static_cast<std::size_t>(tgt)]) return std::nullopt;
+      return std::make_pair(tgt, keep);
+    };
+
+    auto publish = [&](int var, Mask keep) -> sim::Task<void> {
+      ++issued[static_cast<std::size_t>(p.rank)];
+      // Every applied write is logged — even one that turns out to be a
+      // no-op because a concurrent write shrank the domain further — so
+      // that replica log lengths converge to the global issued count,
+      // which the quiescence detection below relies on.
+      auto op = [var, keep](DomainBoard& b) {
+        b.dom[static_cast<std::size_t>(var)] &= keep;
+        b.log.push_back(var);
+      };
+      if (cfg.optimized) {
+        board.write_async(p, kUpdateBytes, std::move(op));
+        co_return;
+      }
+      co_await board.write(p, kUpdateBytes, std::move(op));
+    };
+
+    // Initial sweep over my arcs.
+    std::size_t cursor = 0;
+    long long revisions = 0;
+    for (int c = 0; c < static_cast<int>(csp.constraints.size()); ++c) {
+      for (int side = 0; side < 2; ++side) {
+        if (!owns(csp.revised_var(c, side))) continue;
+        ++revisions;
+        if (auto w = revise(c, side)) co_await publish(w->first, w->second);
+      }
+    }
+    co_await p.compute(revisions * params.ns_per_revision);
+
+    // Propagate until global fixpoint.
+    for (;;) {
+      for (;;) {
+        const auto& log = board.local(p).log;
+        if (cursor >= log.size()) break;
+        const int changed = log[cursor++];
+        long long batch = 0;
+        for (auto [c2, s2] : csp.arcs_of[static_cast<std::size_t>(changed)]) {
+          const int flip = 1 - s2;
+          const int tgt = csp.revised_var(c2, flip);
+          if (tgt == changed || !owns(tgt)) continue;
+          ++batch;
+          if (auto w = revise(c2, flip)) co_await publish(w->first, w->second);
+        }
+        if (batch > 0) co_await p.compute(batch * params.ns_per_revision);
+      }
+      co_await h.rt.barrier(p);
+      struct Counts {
+        long long issued_sum;
+        long long cursor_min;
+      };
+      Counts mine{issued[static_cast<std::size_t>(p.rank)],
+                  static_cast<long long>(cursor)};
+      Counts c = co_await wide::cluster_allreduce<Counts>(
+          h.rt, p, 900, mine, 16, [](Counts&& a, const Counts& b) {
+            return Counts{a.issued_sum + b.issued_sum,
+                          std::min(a.cursor_min, b.cursor_min)};
+          });
+      if (c.cursor_min == c.issued_sum) break;
+    }
+  });
+
+  // All replicas converged to the unique AC fixpoint.
+  result.checksum = domains_checksum(board.local(h.rt.proc(0)).dom);
+  long long total_writes = 0;
+  for (long long w : issued) total_writes += w;
+  result.metrics["writes"] = static_cast<double>(total_writes);
+  result.metrics["constraints"] = static_cast<double>(csp.constraints.size());
+  return result;
+}
+
+}  // namespace alb::apps

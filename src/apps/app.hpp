@@ -1,0 +1,105 @@
+#pragma once
+// Common application harness.
+//
+// Every application from the paper's suite (§3, Table 2) is exposed as a
+// run_<app>() function taking the shared AppConfig (topology, optimized
+// flag, seed) plus app-specific parameters, and returning an AppResult
+// with the simulated parallel run time, a correctness checksum that must
+// match the sequential reference, traffic counters, and app metrics.
+//
+// Applications execute their real algorithms; computation is charged to
+// simulated time through per-work-unit cost constants in each app's
+// Params (calibrated against Table 2, see EXPERIMENTS.md).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/presets.hpp"
+#include "orca/runtime.hpp"
+#include "orca/shared_object.hpp"
+
+namespace alb::apps {
+
+struct AppConfig {
+  int clusters = 1;
+  int procs_per_cluster = 1;
+  /// WAN parameters; the cluster/node counts inside are overwritten.
+  net::TopologyConfig net_cfg = net::das_config(1, 1);
+  /// Run the wide-area-optimized variant instead of the original.
+  bool optimized = false;
+  std::uint64_t seed = 42;
+
+  int total_procs() const { return clusters * procs_per_cluster; }
+};
+
+struct AppResult {
+  /// Simulated time of the parallel phase (last process finish).
+  sim::SimTime elapsed = 0;
+  /// Deterministic fingerprint of the computed answer; must equal the
+  /// sequential reference and be identical for original vs optimized
+  /// (except where the algorithm legitimately changes, e.g. chaotic SOR).
+  std::uint64_t checksum = 0;
+  net::TrafficStats traffic;
+  std::map<std::string, double> metrics;
+};
+
+/// Simulation stack for one run.
+struct Harness {
+  sim::Engine eng;
+  net::Network net;
+  orca::Runtime rt;
+
+  Harness(const AppConfig& cfg, orca::Runtime::Config rtc = {})
+      : net(eng, patch(cfg)), rt(net, rtc) {}
+
+  /// Spawns, runs to completion and fills in elapsed + traffic +
+  /// compute/communication breakdown.
+  AppResult finish(orca::Runtime::ProcMain main) {
+    rt.spawn_all(std::move(main));
+    AppResult r;
+    r.elapsed = rt.run_all();
+    r.traffic = net.stats();
+    sim::SimTime computed = 0;
+    for (int i = 0; i < rt.nprocs(); ++i) computed += rt.proc(i).computed();
+    // Fraction of the processes' aggregate wall time spent computing;
+    // the remainder is communication + idle (load imbalance).
+    if (r.elapsed > 0) {
+      r.metrics["compute_fraction"] =
+          static_cast<double>(computed) /
+          (static_cast<double>(r.elapsed) * rt.nprocs());
+    }
+    return r;
+  }
+
+ private:
+  static net::TopologyConfig patch(const AppConfig& cfg) {
+    net::TopologyConfig t = cfg.net_cfg;
+    t.clusters = cfg.clusters;
+    t.nodes_per_cluster = cfg.procs_per_cluster;
+    return t;
+  }
+};
+
+/// FNV-1a accumulation helper for checksums.
+inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+inline constexpr std::uint64_t kHashSeed = 1469598103934665603ull;
+
+/// Registry used by the whole-suite benches (Figures 15/16, Tables 2/4/5).
+struct AppEntry {
+  std::string name;
+  /// Runs the app at its bench-default problem size.
+  std::function<AppResult(const AppConfig&)> run;
+};
+const std::vector<AppEntry>& registry();
+
+}  // namespace alb::apps

@@ -1,0 +1,39 @@
+#pragma once
+// All-pairs Shortest Paths (§4.3).
+//
+// Row-parallel Floyd-Warshall: the distance matrix is divided row-wise;
+// at iteration k the owner of row k broadcasts it (a write to a
+// replicated row collection) and everyone relaxes their own rows
+// against it. The broadcast is totally ordered, so the sender stalls on
+// the get-sequence step — on a multicluster with the default rotating
+// sequencer that stall is several WAN hops per iteration, which is the
+// paper's diagnosis for the original program's poor performance.
+//
+// Optimized: a migrating sequencer, hinted to the sending cluster
+// ("create a centralized sequencer and migrate it to the cluster that
+// does the sending"), makes get-sequence local so the owner pipelines
+// its whole block of rows into the network.
+
+#include "apps/app.hpp"
+
+namespace alb::apps {
+
+struct AspParams {
+  int nodes = 768;
+  /// Simulated cost of one inner-loop relaxation (min/add on one cell).
+  /// n * ns_per_cell * WAN_bandwidth / 4 reproduces the paper's
+  /// compute-to-WAN-serialization ratio (~44) at n = 768.
+  sim::SimTime ns_per_cell = 400;
+  /// Ablation override: force a sequencer strategy (default: rotating
+  /// for the original program, migrating for the optimized one).
+  std::optional<orca::SequencerKind> sequencer;
+
+  static AspParams bench_default() { return {}; }
+};
+
+/// Sequential Floyd-Warshall checksum over the final matrix.
+std::uint64_t asp_reference_checksum(const AspParams& params, std::uint64_t seed);
+
+AppResult run_asp(const AppConfig& cfg, const AspParams& params);
+
+}  // namespace alb::apps

@@ -1,0 +1,204 @@
+#include "apps/atpg.hpp"
+
+#include <vector>
+
+#include "core/cluster_reduce.hpp"
+#include "sim/rng.hpp"
+
+namespace alb::apps {
+
+namespace {
+
+enum class GateOp : std::uint8_t { And, Or, Xor, Not };
+
+struct Gate {
+  GateOp op;
+  int a;  // input index: < 0 means primary input ~a
+  int b;  // second input (unused for Not)
+};
+
+/// A random layered combinational circuit. Indices: gate i may read
+/// primary inputs or gates < i; the last kOutputs gates are outputs.
+struct Circuit {
+  std::vector<Gate> gates;
+  int primary_inputs;
+  static constexpr int kOutputs = 16;
+
+  static Circuit generate(int num_gates, int num_pi, std::uint64_t seed) {
+    Circuit c;
+    c.primary_inputs = num_pi;
+    c.gates.reserve(static_cast<std::size_t>(num_gates));
+    sim::Rng rng(seed);
+    for (int i = 0; i < num_gates; ++i) {
+      auto pick_input = [&](int hi) -> int {
+        // Bias toward recent gates to get deep propagation paths.
+        if (hi == 0 || rng.uniform() < 0.25) {
+          return ~static_cast<int>(rng.uniform_int(0, num_pi - 1));
+        }
+        int lo = hi > 24 ? hi - 24 : 0;
+        return static_cast<int>(rng.uniform_int(lo, hi - 1));
+      };
+      Gate g;
+      g.op = static_cast<GateOp>(rng.uniform_int(0, 3));
+      g.a = pick_input(i);
+      g.b = g.op == GateOp::Not ? 0 : pick_input(i);
+      c.gates.push_back(g);
+    }
+    return c;
+  }
+
+  /// Evaluates the circuit; if fault_gate >= 0 its output is stuck at
+  /// fault_value. Returns a hash of the output gates and counts gate
+  /// evaluations into *evals.
+  std::uint64_t evaluate(std::uint64_t input_bits, int fault_gate, bool fault_value,
+                         long long* evals) const {
+    std::vector<char> value(gates.size());
+    auto read = [&](int idx) -> bool {
+      if (idx < 0) return (input_bits >> (~idx % 64)) & 1;
+      return value[static_cast<std::size_t>(idx)] != 0;
+    };
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      const Gate& g = gates[i];
+      bool v = false;
+      switch (g.op) {
+        case GateOp::And: v = read(g.a) && read(g.b); break;
+        case GateOp::Or: v = read(g.a) || read(g.b); break;
+        case GateOp::Xor: v = read(g.a) != read(g.b); break;
+        case GateOp::Not: v = !read(g.a); break;
+      }
+      if (static_cast<int>(i) == fault_gate) v = fault_value;
+      value[i] = v ? 1 : 0;
+    }
+    *evals += static_cast<long long>(gates.size());
+    std::uint64_t h = kHashSeed;
+    for (std::size_t i = gates.size() - kOutputs; i < gates.size(); ++i) {
+      h = hash_mix(h, static_cast<std::uint64_t>(value[i]));
+    }
+    return h;
+  }
+};
+
+struct FaultResult {
+  bool detected = false;
+  long long evals = 0;
+};
+
+/// Tries to find a test pattern for (gate, stuck_value).
+FaultResult test_fault(const Circuit& c, int gate, bool stuck, int max_vectors,
+                       std::uint64_t seed) {
+  FaultResult r;
+  sim::Rng rng(seed ^ (static_cast<std::uint64_t>(gate) * 2 + (stuck ? 1 : 0)));
+  for (int v = 0; v < max_vectors; ++v) {
+    std::uint64_t input = rng.next_u64();
+    std::uint64_t good = c.evaluate(input, -1, false, &r.evals);
+    std::uint64_t bad = c.evaluate(input, gate, stuck, &r.evals);
+    if (good != bad) {
+      r.detected = true;
+      return r;
+    }
+  }
+  return r;
+}
+
+struct SharedStats {
+  long long patterns = 0;
+  long long detected = 0;
+  long long untestable = 0;
+};
+
+AtpgOutcome combine(const AtpgOutcome& a, const AtpgOutcome& b) {
+  return AtpgOutcome{a.patterns_found + b.patterns_found,
+                     a.faults_detected + b.faults_detected,
+                     a.faults_untestable + b.faults_untestable};
+}
+
+}  // namespace
+
+AtpgOutcome atpg_reference(const AtpgParams& params, std::uint64_t seed) {
+  Circuit c = Circuit::generate(params.gates, params.primary_inputs, seed);
+  AtpgOutcome out;
+  for (int g = 0; g < params.gates; ++g) {
+    for (int stuck = 0; stuck < 2; ++stuck) {
+      FaultResult r = test_fault(c, g, stuck != 0, params.max_vectors_per_fault, seed);
+      if (r.detected) {
+        ++out.patterns_found;
+        ++out.faults_detected;
+      } else {
+        ++out.faults_untestable;
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t atpg_checksum(const AtpgOutcome& o) {
+  std::uint64_t h = kHashSeed;
+  h = hash_mix(h, static_cast<std::uint64_t>(o.patterns_found));
+  h = hash_mix(h, static_cast<std::uint64_t>(o.faults_detected));
+  h = hash_mix(h, static_cast<std::uint64_t>(o.faults_untestable));
+  return h;
+}
+
+AppResult run_atpg(const AppConfig& cfg, const AtpgParams& params) {
+  Harness h(cfg);
+  Circuit circuit = Circuit::generate(params.gates, params.primary_inputs, cfg.seed);
+  auto stats = orca::create_remote<SharedStats>(h.rt, 0, {});
+
+  const int P = cfg.total_procs();
+  AppResult result;
+  std::uint64_t seed = cfg.seed;
+  const AtpgParams prm = params;
+  AtpgOutcome root_total;
+
+  result = h.finish([&, seed, prm](orca::Proc& p) -> sim::Task<void> {
+    // Static partition: fault f handled by process f mod P (faults are
+    // 2*gates: (gate, stuck-at)).
+    AtpgOutcome local;
+    const int num_faults = prm.gates * 2;
+    for (int f = p.rank; f < num_faults; f += P) {
+      const int gate = f / 2;
+      const bool stuck = (f % 2) != 0;
+      FaultResult r = test_fault(circuit, gate, stuck, prm.max_vectors_per_fault, seed);
+      co_await p.compute(r.evals * prm.ns_per_gate_eval);
+      if (r.detected) {
+        ++local.patterns_found;
+        ++local.faults_detected;
+        if (!cfg.optimized) {
+          // Original: one RPC per generated pattern to the shared
+          // statistics object.
+          co_await stats.invoke_void(p, 16, 8, [](SharedStats& s) {
+            ++s.patterns;
+            ++s.detected;
+          });
+        }
+      } else {
+        ++local.faults_untestable;
+        if (!cfg.optimized) {
+          co_await stats.invoke_void(p, 16, 8, [](SharedStats& s) { ++s.untestable; });
+        }
+      }
+    }
+    if (cfg.optimized) {
+      // Optimized: a single hierarchical reduction at the end.
+      AtpgOutcome total = co_await wide::cluster_reduce<AtpgOutcome>(
+          h.rt, p, 500, local, 24, [](AtpgOutcome&& a, const AtpgOutcome& b) {
+            return combine(a, b);
+          });
+      if (p.rank == 0) root_total = total;
+    }
+  });
+
+  AtpgOutcome out;
+  if (cfg.optimized) {
+    out = root_total;
+  } else {
+    const SharedStats& s = stats.state();
+    out = AtpgOutcome{s.patterns, s.detected, s.untestable};
+  }
+  result.checksum = atpg_checksum(out);
+  result.metrics["patterns"] = static_cast<double>(out.patterns_found);
+  result.metrics["untestable"] = static_cast<double>(out.faults_untestable);
+  return result;
+}
+
+}  // namespace alb::apps

@@ -1,0 +1,195 @@
+#include "apps/tsp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/cluster_reduce.hpp"
+#include "core/job_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace alb::apps {
+
+namespace {
+
+struct Instance {
+  int n;
+  std::vector<int> dist;  // n*n symmetric
+
+  int d(int a, int b) const { return dist[static_cast<std::size_t>(a) * n + b]; }
+
+  static Instance generate(int n, std::uint64_t seed) {
+    Instance ins;
+    ins.n = n;
+    ins.dist.assign(static_cast<std::size_t>(n) * n, 0);
+    sim::Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        int w = static_cast<int>(rng.uniform_int(10, 99));
+        ins.dist[static_cast<std::size_t>(i) * n + j] = w;
+        ins.dist[static_cast<std::size_t>(j) * n + i] = w;
+      }
+    }
+    return ins;
+  }
+
+  /// Greedy nearest-neighbour tour from city 0 — the fixed global bound.
+  long long greedy_bound() const {
+    std::vector<char> used(static_cast<std::size_t>(n), 0);
+    used[0] = 1;
+    int cur = 0;
+    long long total = 0;
+    for (int step = 1; step < n; ++step) {
+      int best = -1;
+      for (int j = 0; j < n; ++j) {
+        if (!used[j] && (best < 0 || d(cur, j) < d(cur, best))) best = j;
+      }
+      used[static_cast<std::size_t>(best)] = 1;
+      total += d(cur, best);
+      cur = best;
+    }
+    return total + d(cur, 0);
+  }
+};
+
+struct Job {
+  std::vector<int> prefix;  // visited cities, starting with 0
+  long long length = 0;     // length of the prefix path
+};
+
+/// Expands the root to `depth` cities; one job per prefix, in
+/// deterministic lexicographic order.
+std::vector<Job> make_jobs(const Instance& ins, int depth) {
+  std::vector<Job> jobs;
+  Job root;
+  root.prefix = {0};
+  std::vector<Job> frontier{root};
+  for (int level = 1; level < depth; ++level) {
+    std::vector<Job> next;
+    for (const Job& j : frontier) {
+      for (int c = 1; c < ins.n; ++c) {
+        if (std::find(j.prefix.begin(), j.prefix.end(), c) != j.prefix.end()) continue;
+        Job child = j;
+        child.length += ins.d(j.prefix.back(), c);
+        child.prefix.push_back(c);
+        next.push_back(std::move(child));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+struct SearchResult {
+  long long best = std::numeric_limits<long long>::max();
+  long long nodes = 0;
+};
+
+void dfs(const Instance& ins, std::vector<int>& path, std::vector<char>& used,
+         long long length, long long bound, SearchResult* out) {
+  ++out->nodes;
+  if (length >= bound) return;  // prune against the fixed global bound
+  if (static_cast<int>(path.size()) == ins.n) {
+    long long tour = length + ins.d(path.back(), 0);
+    if (tour <= bound) out->best = std::min(out->best, tour);
+    return;
+  }
+  int cur = path.back();
+  for (int c = 1; c < ins.n; ++c) {
+    if (used[c]) continue;
+    used[c] = 1;
+    path.push_back(c);
+    dfs(ins, path, used, length + ins.d(cur, c), bound, out);
+    path.pop_back();
+    used[c] = 0;
+  }
+}
+
+SearchResult solve_job(const Instance& ins, const Job& job, long long bound) {
+  SearchResult r;
+  std::vector<int> path = job.prefix;
+  std::vector<char> used(static_cast<std::size_t>(ins.n), 0);
+  for (int c : path) used[c] = 1;
+  dfs(ins, path, used, job.length, bound, &r);
+  return r;
+}
+
+}  // namespace
+
+TspOutcome tsp_reference(const TspParams& params, std::uint64_t seed) {
+  Instance ins = Instance::generate(params.cities, seed);
+  const long long bound = ins.greedy_bound();
+  TspOutcome out;
+  out.best_tour = std::numeric_limits<long long>::max();
+  for (const Job& j : make_jobs(ins, params.job_depth)) {
+    SearchResult r = solve_job(ins, j, bound);
+    out.best_tour = std::min(out.best_tour, r.best);
+    out.nodes_expanded += r.nodes;
+  }
+  return out;
+}
+
+std::uint64_t tsp_checksum(const TspOutcome& o) {
+  std::uint64_t h = kHashSeed;
+  h = hash_mix(h, static_cast<std::uint64_t>(o.best_tour));
+  h = hash_mix(h, static_cast<std::uint64_t>(o.nodes_expanded));
+  return h;
+}
+
+AppResult run_tsp(const AppConfig& cfg, const TspParams& params) {
+  Harness h(cfg);
+  Instance ins = Instance::generate(params.cities, cfg.seed);
+  const long long bound = ins.greedy_bound();
+  std::vector<Job> jobs = make_jobs(ins, params.job_depth);
+  const std::size_t job_bytes = 8 + params.job_depth * 4ul;
+
+  // The global minimum lives in a replicated object; with the bound
+  // fixed it is only read (locally, for pruning), as in the paper runs.
+  auto global_min = orca::create_replicated<long long>(h.rt, bound);
+
+  wide::CentralJobQueue<Job> central(h.rt, 0, job_bytes);
+  wide::ClusterJobQueues<Job> per_cluster(h.rt, job_bytes);
+  if (cfg.optimized) {
+    per_cluster.seed(jobs);
+  } else {
+    central.seed(jobs);
+  }
+
+  struct Partial {
+    long long best;
+    long long nodes;
+  };
+  AppResult result;
+  Partial total{std::numeric_limits<long long>::max(), 0};
+
+  result = h.finish([&](orca::Proc& p) -> sim::Task<void> {
+    Partial local{std::numeric_limits<long long>::max(), 0};
+    for (;;) {
+      std::optional<Job> job;
+      if (cfg.optimized) {
+        job = co_await per_cluster.get(p);
+      } else {
+        job = co_await central.get(p);
+      }
+      if (!job) break;
+      const long long b = global_min.read(p, [](const long long& v) { return v; });
+      SearchResult r = solve_job(ins, *job, b);
+      co_await p.compute(r.nodes * params.ns_per_node);
+      local.best = std::min(local.best, r.best);
+      local.nodes += r.nodes;
+    }
+    Partial sum = co_await wide::cluster_reduce<Partial>(
+        h.rt, p, 600, local, 16, [](Partial&& a, const Partial& b) {
+          return Partial{std::min(a.best, b.best), a.nodes + b.nodes};
+        });
+    if (p.rank == 0) total = sum;
+  });
+
+  result.checksum = tsp_checksum(TspOutcome{total.best, total.nodes});
+  result.metrics["nodes"] = static_cast<double>(total.nodes);
+  result.metrics["best_tour"] = static_cast<double>(total.best);
+  result.metrics["bound"] = static_cast<double>(bound);
+  return result;
+}
+
+}  // namespace alb::apps

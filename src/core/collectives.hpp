@@ -1,0 +1,181 @@
+#pragma once
+// Topology-aware collective operations.
+//
+// The paper closes by observing that its optimizations are instances of
+// general techniques that "can be used in wide-area parallel programming
+// systems" — the line of work that became MagPIe's wide-area collectives
+// (and later Open MPI's hierarchical modules). This module packages the
+// remaining classic collectives in that style, complementing
+// cluster_reduce.hpp: every operation crosses each WAN circuit at most
+// once, with cluster leaders fanning in/out locally.
+//
+// All collectives are *collective*: every process of the runtime must
+// call them with the same tag, and tags must not be reused concurrently.
+
+#include <memory>
+#include <vector>
+
+#include "orca/runtime.hpp"
+
+namespace alb::wide {
+
+/// Broadcast `value` from `root` to every process: one WAN message per
+/// remote cluster (to its leader), hardware broadcast within clusters.
+/// Returns the value at every process.
+template <typename T>
+sim::Task<T> cluster_broadcast(orca::Runtime& rt, const orca::Proc& p, int tag, int root,
+                               T value, std::size_t bytes) {
+  const auto& topo = rt.network().topology();
+  if (p.rank == root) {
+    auto payload = net::make_payload<T>(value);
+    // WAN fan-out to the other clusters' leaders...
+    for (net::ClusterId c = 0; c < topo.clusters(); ++c) {
+      if (c == p.cluster()) continue;
+      net::Message m;
+      m.bytes = bytes;
+      m.kind = net::MsgKind::Data;
+      m.tag = tag;
+      m.payload = payload;
+      rt.network().wan_broadcast(p.node, c, std::move(m));
+    }
+    // ...and one hardware broadcast at home.
+    if (topo.nodes_per_cluster() > 1) {
+      net::Message m;
+      m.bytes = bytes;
+      m.kind = net::MsgKind::Data;
+      m.tag = tag;
+      m.payload = payload;
+      rt.network().lan_broadcast(p.node, std::move(m));
+    }
+    co_return value;
+  }
+  net::Message m = co_await rt.recv_data(p, tag);
+  co_return net::payload_as<T>(m);
+}
+
+/// Gather: every process contributes `value`; the root receives all of
+/// them, indexed by rank. Contributions funnel through cluster leaders,
+/// one combined WAN message per cluster.
+template <typename T>
+sim::Task<std::vector<T>> cluster_gather(orca::Runtime& rt, const orca::Proc& p, int tag,
+                                         int root, T value, std::size_t bytes) {
+  struct Packet {
+    std::vector<std::pair<int, T>> items;
+  };
+  const int leader = p.cluster_leader();
+  const auto& topo = rt.network().topology();
+  const int root_cluster = topo.cluster_of(static_cast<net::NodeId>(root));
+
+  if (p.rank != leader && p.rank != root) {
+    rt.send_data(p, leader, tag, bytes,
+                 net::make_payload<Packet>(Packet{{{p.rank, std::move(value)}}}));
+    co_return std::vector<T>{};
+  }
+
+  Packet mine;
+  if (p.rank == leader) {
+    mine.items.emplace_back(p.rank, std::move(value));
+    int expect = p.procs_per_cluster() - 1;
+    // The root contributes straight to itself even when not a leader.
+    if (p.cluster() == root_cluster && root != leader) --expect;
+    for (int i = 0; i < expect; ++i) {
+      net::Message m = co_await rt.recv_data(p, tag);
+      for (auto& it : net::payload_as<Packet>(m).items) mine.items.push_back(it);
+    }
+    if (p.rank != root) {
+      // One combined message toward the root (WAN if remote cluster).
+      rt.send_data(p, root, tag + 1, bytes * mine.items.size(),
+                   net::make_payload<Packet>(std::move(mine)));
+      co_return std::vector<T>{};
+    }
+  } else {
+    // Root that is not its cluster's leader: contribute locally first.
+    mine.items.emplace_back(p.rank, std::move(value));
+  }
+
+  // Root: collect the leader packets (own cluster's leader included if
+  // the root is not the leader).
+  std::vector<T> result(static_cast<std::size_t>(p.nprocs));
+  std::vector<char> seen(static_cast<std::size_t>(p.nprocs), 0);
+  auto absorb = [&](const Packet& pk) {
+    for (const auto& [rank, v] : pk.items) {
+      result[static_cast<std::size_t>(rank)] = v;
+      seen[static_cast<std::size_t>(rank)] = 1;
+    }
+  };
+  absorb(mine);
+  int missing = 0;
+  for (char s : seen) {
+    if (!s) ++missing;
+  }
+  while (missing > 0) {
+    net::Message m = co_await rt.recv_data(p, tag + 1);
+    const auto& pk = net::payload_as<Packet>(m);
+    absorb(pk);
+    missing -= static_cast<int>(pk.items.size());
+  }
+  co_return result;
+}
+
+/// Scatter: the root holds one value per rank; each process receives its
+/// own. Per-cluster bundles travel the WAN once and leaders distribute.
+template <typename T>
+sim::Task<T> cluster_scatter(orca::Runtime& rt, const orca::Proc& p, int tag, int root,
+                             std::vector<T> values, std::size_t bytes_each) {
+  struct Bundle {
+    std::vector<std::pair<int, T>> items;
+  };
+  const auto& topo = rt.network().topology();
+  if (p.rank == root) {
+    T my_own = values[static_cast<std::size_t>(p.rank)];
+    // One bundle per cluster, sent to the cluster leader.
+    for (net::ClusterId c = 0; c < topo.clusters(); ++c) {
+      Bundle b;
+      for (int i = 0; i < topo.nodes_per_cluster(); ++i) {
+        int r = topo.compute_node(c, i);
+        if (r == root) continue;
+        b.items.emplace_back(r, values[static_cast<std::size_t>(r)]);
+      }
+      if (b.items.empty()) continue;
+      const int leader = topo.compute_node(c, 0);
+      const int dst = leader == root ? topo.compute_node(c, 1) : leader;
+      rt.send_data(p, dst, tag, bytes_each * b.items.size(),
+                   net::make_payload<Bundle>(std::move(b)));
+    }
+    co_return my_own;
+  }
+  // Leaders (or the designated alternate in the root's cluster) unpack
+  // and forward; everyone else just receives.
+  const int leader = p.cluster_leader();
+  const bool i_distribute =
+      (p.rank == leader && root != leader) ||
+      (leader == root && p.rank == p.rank_in_cluster(p.cluster(), 1));
+  if (i_distribute) {
+    net::Message m = co_await rt.recv_data(p, tag);
+    const auto& b = net::payload_as<Bundle>(m);
+    T my_own{};
+    for (const auto& [rank, v] : b.items) {
+      if (rank == p.rank) {
+        my_own = v;
+      } else {
+        rt.send_data(p, rank, tag + 1, bytes_each, net::make_payload<T>(v));
+      }
+    }
+    co_return my_own;
+  }
+  net::Message m = co_await rt.recv_data(p, tag + 1);
+  co_return net::payload_as<T>(m);
+}
+
+/// Allgather = gather to rank 0 + broadcast of the full vector.
+template <typename T>
+sim::Task<std::vector<T>> cluster_allgather(orca::Runtime& rt, const orca::Proc& p,
+                                            int tag, T value, std::size_t bytes) {
+  std::vector<T> gathered =
+      co_await cluster_gather<T>(rt, p, tag, 0, std::move(value), bytes);
+  co_return co_await cluster_broadcast<std::vector<T>>(
+      rt, p, tag + 2, 0, std::move(gathered),
+      bytes * static_cast<std::size_t>(p.nprocs));
+}
+
+}  // namespace alb::wide

@@ -1,0 +1,98 @@
+#pragma once
+// Job queues for master/worker parallelism (the TSP pattern, §4.2).
+//
+//  * CentralJobQueue — the original program's physically centralized
+//    FIFO queue, stored on the master's node: every get() from a remote
+//    cluster is an intercluster RPC (~75% of all jobs on 4 clusters).
+//  * ClusterJobQueues — the optimization: work is statically partitioned
+//    over one queue per cluster; get() is always an intracluster RPC.
+//    Trades dynamic load balance for intercluster traffic, exactly the
+//    trade-off the paper discusses.
+//
+// Both expose the same interface so applications switch by construction.
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "orca/runtime.hpp"
+#include "orca/shared_object.hpp"
+
+namespace alb::wide {
+
+template <typename Job>
+class CentralJobQueue {
+ public:
+  /// The queue object lives on `master_rank`'s node.
+  CentralJobQueue(orca::Runtime& rt, int master_rank, std::size_t job_bytes)
+      : job_bytes_(job_bytes),
+        queue_(orca::create_remote<std::deque<Job>>(rt, master_rank, {})) {}
+
+  /// Fills the queue (setup time, before the run is timed).
+  void seed(std::vector<Job> jobs) {
+    auto& q = queue_.state();
+    for (auto& j : jobs) q.push_back(std::move(j));
+  }
+
+  /// Takes the next job; std::nullopt once the queue is empty.
+  sim::Task<std::optional<Job>> get(const orca::Proc& p) {
+    co_return co_await queue_.template invoke<std::optional<Job>>(
+        p, kRequestBytes, job_bytes_, [](std::deque<Job>& q) -> std::optional<Job> {
+          if (q.empty()) return std::nullopt;
+          Job j = std::move(q.front());
+          q.pop_front();
+          return j;
+        });
+  }
+
+  std::size_t pending() { return queue_.state().size(); }
+
+ private:
+  static constexpr std::size_t kRequestBytes = 16;
+  std::size_t job_bytes_;
+  orca::Remote<std::deque<Job>> queue_;
+};
+
+template <typename Job>
+class ClusterJobQueues {
+ public:
+  ClusterJobQueues(orca::Runtime& rt, std::size_t job_bytes) : job_bytes_(job_bytes) {
+    const auto& topo = rt.network().topology();
+    queues_.reserve(static_cast<std::size_t>(topo.clusters()));
+    for (net::ClusterId c = 0; c < topo.clusters(); ++c) {
+      // Each cluster's queue lives on its leader node.
+      queues_.push_back(
+          orca::create_remote<std::deque<Job>>(rt, topo.compute_node(c, 0), {}));
+    }
+  }
+
+  /// Statically distributes jobs round-robin over the cluster queues.
+  /// Round-robin (rather than block) spreads expensive early jobs, which
+  /// is how a static distribution keeps imbalance tolerable.
+  void seed(std::vector<Job> jobs) {
+    std::size_t c = 0;
+    for (auto& j : jobs) {
+      queues_[c].state().push_back(std::move(j));
+      c = (c + 1) % queues_.size();
+    }
+  }
+
+  /// Takes the next job from the caller's own cluster queue.
+  sim::Task<std::optional<Job>> get(const orca::Proc& p) {
+    auto& q = queues_[static_cast<std::size_t>(p.cluster())];
+    co_return co_await q.template invoke<std::optional<Job>>(
+        p, kRequestBytes, job_bytes_, [](std::deque<Job>& jobs) -> std::optional<Job> {
+          if (jobs.empty()) return std::nullopt;
+          Job j = std::move(jobs.front());
+          jobs.pop_front();
+          return j;
+        });
+  }
+
+ private:
+  static constexpr std::size_t kRequestBytes = 16;
+  std::size_t job_bytes_;
+  std::vector<orca::Remote<std::deque<Job>>> queues_;
+};
+
+}  // namespace alb::wide

@@ -1,0 +1,45 @@
+#pragma once
+// Split-phase exchange helper (§4.8, first SOR optimization).
+//
+// Orca's shared-object operations are synchronous; the paper rewrote
+// SOR against lower-level primitives to post boundary-row sends early,
+// compute the interior, and only then wait for the neighbour rows. This
+// helper packages that pattern: post() fires asynchronous sends,
+// complete() awaits the matching receives.
+
+#include <optional>
+#include <vector>
+
+#include "orca/runtime.hpp"
+
+namespace alb::wide {
+
+/// A split-phase neighbour exchange. Typical use:
+///
+///   SplitPhaseExchange x(rt);
+///   x.post(p, left, tagL, bytes, payload);    // returns immediately
+///   ... compute interior rows ...
+///   net::Message m = co_await x.receive(p, tagL');  // now block
+class SplitPhaseExchange {
+ public:
+  explicit SplitPhaseExchange(orca::Runtime& rt) : rt_(&rt) {}
+
+  /// Asynchronous send: the caller continues computing immediately.
+  void post(const orca::Proc& p, int dst_rank, int tag, std::size_t bytes,
+            std::shared_ptr<const void> payload = nullptr) {
+    rt_->send_data(p, dst_rank, tag, bytes, std::move(payload));
+  }
+
+  /// Blocks until the message for `tag` arrives (it may already have).
+  auto receive(const orca::Proc& p, int tag) { return rt_->recv_data(p, tag); }
+
+  /// Non-blocking probe.
+  std::optional<net::Message> try_receive(const orca::Proc& p, int tag) {
+    return rt_->try_recv_data(p, tag);
+  }
+
+ private:
+  orca::Runtime* rt_;
+};
+
+}  // namespace alb::wide

@@ -1,0 +1,44 @@
+#pragma once
+// Boundary-exchange policies for iterative nearest-neighbour solvers
+// (the SOR optimization, §4.8).
+//
+// Red/black SOR exchanges boundary rows with both neighbours every
+// iteration. Chazan & Miranker's chaotic-relaxation result lets some
+// exchanges be skipped at the cost of extra iterations; the paper
+// exploits it by dropping 2 out of 3 *intercluster* row exchanges
+// (intracluster exchanges always proceed), which preserved convergence
+// within 5-10% extra iterations on up to 4 clusters.
+
+namespace alb::wide {
+
+class ExchangePolicy {
+ public:
+  virtual ~ExchangePolicy() = default;
+  /// Whether the boundary exchange for `iteration` should be performed
+  /// on an edge that crosses a cluster boundary.
+  virtual bool exchange_intercluster(int iteration) const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// The original program: every exchange happens.
+class FullExchange final : public ExchangePolicy {
+ public:
+  bool exchange_intercluster(int) const override { return true; }
+  const char* name() const override { return "full"; }
+};
+
+/// Chaotic relaxation: perform only one intercluster exchange out of
+/// every `period` iterations (paper: period 3, i.e. drop 2 of 3).
+class ChaoticRelaxation final : public ExchangePolicy {
+ public:
+  explicit ChaoticRelaxation(int period = 3) : period_(period) {}
+  bool exchange_intercluster(int iteration) const override {
+    return iteration % period_ == 0;
+  }
+  const char* name() const override { return "chaotic"; }
+
+ private:
+  int period_;
+};
+
+}  // namespace alb::wide

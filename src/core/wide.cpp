@@ -1,0 +1,11 @@
+// Anchor translation unit: instantiates nothing, but compiles every
+// public header of the wide-area optimization library so that template
+// errors surface in this library's own build rather than in dependents.
+#include "core/cluster_cache.hpp"
+#include "core/cluster_reduce.hpp"
+#include "core/job_queue.hpp"
+#include "core/latency_hiding.hpp"
+#include "core/message_combiner.hpp"
+#include "core/relaxation_policy.hpp"
+#include "core/work_stealing.hpp"
+#include "core/collectives.hpp"

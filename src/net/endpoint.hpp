@@ -1,0 +1,67 @@
+#pragma once
+// Per-node message delivery endpoint.
+//
+// Arriving messages are either handed to a registered handler (used by
+// the Orca runtime to dispatch RPC requests and broadcast deliveries the
+// moment they arrive) or queued in a per-tag mailbox for processes that
+// co_await receive(tag).
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "net/message.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+
+namespace alb::net {
+
+class Endpoint {
+ public:
+  using Handler = std::function<void(Message)>;
+
+  explicit Endpoint(sim::Engine& eng) : eng_(&eng) {}
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Registers a handler invoked at arrival time for messages with `tag`.
+  /// A handler takes precedence over mailbox queueing.
+  void set_handler(int tag, Handler handler) { handlers_[tag] = std::move(handler); }
+  void clear_handler(int tag) { handlers_.erase(tag); }
+
+  /// Awaitable receive from the mailbox for `tag` (FIFO).
+  auto receive(int tag) { return mailbox(tag).receive(); }
+
+  /// Non-blocking receive.
+  std::optional<Message> try_receive(int tag) { return mailbox(tag).try_receive(); }
+
+  /// Number of queued (undelivered-to-process) messages for `tag`.
+  std::size_t pending(int tag) {
+    auto it = mailboxes_.find(tag);
+    return it == mailboxes_.end() ? 0 : it->second->size();
+  }
+
+  /// Called by the network at message arrival time.
+  void deliver(Message m) {
+    if (auto it = handlers_.find(m.tag); it != handlers_.end()) {
+      it->second(std::move(m));
+      return;
+    }
+    mailbox(m.tag).send(std::move(m));
+  }
+
+ private:
+  sim::Channel<Message>& mailbox(int tag) {
+    auto it = mailboxes_.find(tag);
+    if (it == mailboxes_.end()) {
+      it = mailboxes_.emplace(tag, std::make_unique<sim::Channel<Message>>(*eng_)).first;
+    }
+    return *it->second;
+  }
+
+  sim::Engine* eng_;
+  std::map<int, Handler> handlers_;
+  std::map<int, std::unique_ptr<sim::Channel<Message>>> mailboxes_;
+};
+
+}  // namespace alb::net

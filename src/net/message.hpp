@@ -1,0 +1,68 @@
+#pragma once
+// Messages.
+//
+// `bytes` is what the network charges (application payload plus protocol
+// framing as chosen by the sender); `payload` carries the actual C++
+// object between simulated processes, type-erased. The simulation runs in
+// one address space, so "shipping" a payload is a shared_ptr copy — the
+// cost model is entirely in `bytes`.
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "net/node.hpp"
+#include "sim/time.hpp"
+
+namespace alb::net {
+
+/// Message classes, used for routing statistics (Tables 4 and 5 of the
+/// paper report intercluster RPC and broadcast traffic separately).
+enum class MsgKind : std::uint8_t {
+  Rpc,       // remote object invocation request
+  RpcReply,  // its reply
+  Bcast,     // totally-ordered broadcast data
+  Control,   // sequencer / token / termination protocol messages
+  Data,      // raw point-to-point application data (send/receive style)
+};
+
+constexpr const char* to_string(MsgKind k) {
+  switch (k) {
+    case MsgKind::Rpc: return "rpc";
+    case MsgKind::RpcReply: return "rpc-reply";
+    case MsgKind::Bcast: return "bcast";
+    case MsgKind::Control: return "control";
+    case MsgKind::Data: return "data";
+  }
+  return "?";
+}
+
+struct Message {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  std::size_t bytes = 0;
+  MsgKind kind = MsgKind::Data;
+  /// Application-level demultiplexing tag (mailbox number).
+  int tag = 0;
+  /// Monotonic per-network id, assigned by Network::send.
+  std::uint64_t id = 0;
+  /// Simulated time the message entered the network.
+  sim::SimTime sent_at = 0;
+  std::shared_ptr<const void> payload;
+};
+
+/// Wraps a value for shipment.
+template <typename T>
+std::shared_ptr<const void> make_payload(T value) {
+  return std::shared_ptr<const void>(std::make_shared<const T>(std::move(value)));
+}
+
+/// Extracts a payload previously created with make_payload<T>.
+template <typename T>
+const T& payload_as(const Message& m) {
+  assert(m.payload && "message has no payload");
+  return *static_cast<const T*>(m.payload.get());
+}
+
+}  // namespace alb::net

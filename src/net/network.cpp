@@ -1,0 +1,155 @@
+#include "net/network.hpp"
+
+#include <cassert>
+
+namespace alb::net {
+
+Network::Network(sim::Engine& eng, const TopologyConfig& cfg)
+    : eng_(&eng), cfg_(cfg), topo_(cfg) {
+  assert(cfg.clusters >= 1);
+  assert(cfg.nodes_per_cluster >= 1);
+  const int nodes = topo_.num_nodes();
+  const int compute = topo_.num_compute();
+  const int clusters = topo_.clusters();
+
+  endpoints_.reserve(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) endpoints_.push_back(std::make_unique<Endpoint>(eng));
+
+  lan_links_.reserve(static_cast<std::size_t>(compute));
+  access_links_.reserve(static_cast<std::size_t>(compute));
+  for (int n = 0; n < compute; ++n) {
+    lan_links_.push_back(std::make_unique<Link>(eng, cfg.lan));
+    access_links_.push_back(std::make_unique<Link>(eng, cfg.access));
+  }
+  wan_links_.resize(static_cast<std::size_t>(clusters) * static_cast<std::size_t>(clusters));
+  for (int a = 0; a < clusters; ++a) {
+    for (int b = 0; b < clusters; ++b) {
+      if (a != b) {
+        wan_links_[static_cast<std::size_t>(a) * clusters + b] =
+            std::make_unique<Link>(eng, cfg.wan);
+      }
+    }
+  }
+  for (int c = 0; c < clusters; ++c) {
+    delivery_links_.push_back(std::make_unique<Link>(eng, cfg.access));
+    bcast_links_.push_back(std::make_unique<Link>(eng, cfg.lan_broadcast));
+  }
+}
+
+Link& Network::wan_link(ClusterId from, ClusterId to) {
+  assert(from != to);
+  return *wan_links_[static_cast<std::size_t>(from) * topo_.clusters() + to];
+}
+
+void Network::deliver_at(sim::SimTime t, Message m) {
+  NodeId dst = m.dst;
+  eng_->schedule_at(t, [this, dst, m = std::move(m)]() mutable {
+    endpoint(dst).deliver(std::move(m));
+  });
+}
+
+std::uint64_t Network::send(Message m) {
+  assert(m.src >= 0 && m.src < topo_.num_nodes());
+  assert(m.dst >= 0 && m.dst < topo_.num_nodes());
+  m.id = next_id_++;
+  m.sent_at = eng_->now();
+  const std::uint64_t id = m.id;
+
+  if (m.src == m.dst) {
+    // Loopback: no link charge, but still goes through the event queue so
+    // a self-send never reorders ahead of already-scheduled work.
+    deliver_at(eng_->now(), std::move(m));
+    return id;
+  }
+
+  const ClusterId sc = topo_.cluster_of(m.src);
+  const ClusterId dc = topo_.cluster_of(m.dst);
+
+  if (sc == dc) {
+    stats_.record_intra(m.kind, m.bytes);
+    // Gateways reach their own cluster over the delivery (FE) link;
+    // compute nodes use their Myrinet egress.
+    Link& l = topo_.is_gateway(m.src) ? delivery_link(sc)
+                                      : lan_link(m.src);
+    const sim::SimTime t = l.transfer(m.bytes);
+    deliver_at(t, std::move(m));
+    return id;
+  }
+
+  // Intercluster: first hop to the local gateway over Fast Ethernet.
+  // (A gateway itself never originates application messages on DAS, but
+  // relay code may run there in tests; it goes straight to the WAN.)
+  if (topo_.is_gateway(m.src)) {
+    forward_over_wan(std::move(m), sc, dc, /*as_broadcast=*/false);
+    return id;
+  }
+  const sim::SimTime at_gw = access_link(m.src).transfer(m.bytes);
+  eng_->schedule_at(at_gw, [this, sc, dc, m = std::move(m)]() mutable {
+    forward_over_wan(std::move(m), sc, dc, /*as_broadcast=*/false);
+  });
+  return id;
+}
+
+void Network::forward_over_wan(Message m, ClusterId from, ClusterId to, bool as_broadcast) {
+  stats_.record_inter(m.kind, m.bytes);
+  // Store-and-forward: the gateway spends its per-message forwarding
+  // overhead, then the message queues on the WAN circuit.
+  eng_->schedule_after(cfg_.gateway_forward_overhead,
+                       [this, from, to, as_broadcast, m = std::move(m)]() mutable {
+    sim::SimTime at_remote_gw = wan_link(from, to).transfer(m.bytes);
+    eng_->schedule_at(at_remote_gw,
+                      [this, to, as_broadcast, m = std::move(m)]() mutable {
+      eng_->schedule_after(cfg_.gateway_forward_overhead,
+                           [this, to, as_broadcast, m = std::move(m)]() mutable {
+        if (as_broadcast) {
+          // Remote gateway re-broadcasts into its cluster.
+          const sim::SimTime t = bcast_link(to).transfer(m.bytes);
+          for (int i = 0; i < topo_.nodes_per_cluster(); ++i) {
+            Message copy = m;
+            copy.dst = topo_.compute_node(to, i);
+            deliver_at(t, std::move(copy));
+          }
+        } else {
+          const sim::SimTime t = delivery_link(to).transfer(m.bytes);
+          deliver_at(t, std::move(m));
+        }
+      });
+    });
+  });
+}
+
+std::uint64_t Network::lan_broadcast(NodeId src, Message m) {
+  assert(topo_.is_compute(src));
+  m.id = next_id_++;
+  m.sent_at = eng_->now();
+  m.src = src;
+  const ClusterId c = topo_.cluster_of(src);
+  stats_.record_intra(m.kind, m.bytes);
+  sim::SimTime t = bcast_link(c).transfer(m.bytes);
+  for (int i = 0; i < topo_.nodes_per_cluster(); ++i) {
+    NodeId dst = topo_.compute_node(c, i);
+    if (dst == src) continue;  // the sender applies its own update locally
+    Message copy = m;
+    copy.dst = dst;
+    deliver_at(t, std::move(copy));
+  }
+  return m.id;
+}
+
+std::uint64_t Network::wan_broadcast(NodeId src, ClusterId target, Message m) {
+  assert(topo_.is_compute(src));
+  assert(target != topo_.cluster_of(src));
+  m.id = next_id_++;
+  m.sent_at = eng_->now();
+  m.src = src;
+  m.dst = topo_.gateway_of(target);
+  const ClusterId sc = topo_.cluster_of(src);
+  const std::uint64_t id = m.id;
+  const sim::SimTime at_gw = access_link(src).transfer(m.bytes);
+  eng_->schedule_at(at_gw, [this, sc, target, m = std::move(m)]() mutable {
+    forward_over_wan(std::move(m), sc, target, /*as_broadcast=*/true);
+  });
+  return id;
+}
+
+}  // namespace alb::net

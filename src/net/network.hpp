@@ -1,0 +1,82 @@
+#pragma once
+// The multilevel network.
+//
+// Owns the topology's link inventory and implements routing:
+//   * intracluster unicast  — one hop over the sender's Myrinet egress;
+//   * intercluster unicast  — sender → local gateway (Fast Ethernet),
+//     gateway → gateway (WAN PVC, store-and-forward with per-message
+//     forwarding overhead), gateway → destination (Fast Ethernet), as on
+//     DAS (§2 of the paper);
+//   * lan_broadcast          — hardware-supported cluster broadcast: one
+//     serialization at the sender, simultaneous delivery to all other
+//     cluster members;
+//   * wan_broadcast           — ships a broadcast payload to a remote
+//     cluster's gateway, which re-broadcasts it locally.
+//
+// Every hop is a scheduled event, so queueing at gateways and on the WAN
+// circuits emerges naturally from link busy-until times.
+
+#include <memory>
+#include <vector>
+
+#include "net/endpoint.hpp"
+#include "net/link.hpp"
+#include "net/message.hpp"
+#include "net/topology.hpp"
+#include "net/traffic_stats.hpp"
+#include "sim/engine.hpp"
+
+namespace alb::net {
+
+class Network {
+ public:
+  Network(sim::Engine& eng, const TopologyConfig& cfg);
+
+  const Topology& topology() const { return topo_; }
+  const TopologyConfig& config() const { return cfg_; }
+  sim::Engine& engine() { return *eng_; }
+
+  Endpoint& endpoint(NodeId n) { return *endpoints_[static_cast<std::size_t>(n)]; }
+
+  /// Unicast. Returns the message id. src == dst delivers via loopback
+  /// (through the event queue, no link charge).
+  std::uint64_t send(Message m);
+
+  /// Cluster-local hardware broadcast from `src` to every other compute
+  /// node in src's cluster. `m.dst` is ignored.
+  std::uint64_t lan_broadcast(NodeId src, Message m);
+
+  /// Ships `m` to cluster `target` over the WAN and re-broadcasts it
+  /// there to all compute nodes (used by the totally-ordered broadcast
+  /// layer). `target` must differ from src's cluster.
+  std::uint64_t wan_broadcast(NodeId src, ClusterId target, Message m);
+
+  TrafficStats& stats() { return stats_; }
+  const TrafficStats& stats() const { return stats_; }
+
+  // --- link inspection (tests, utilization reports) -----------------
+  Link& lan_link(NodeId n) { return *lan_links_[static_cast<std::size_t>(n)]; }
+  Link& access_link(NodeId n) { return *access_links_[static_cast<std::size_t>(n)]; }
+  Link& wan_link(ClusterId from, ClusterId to);
+  Link& delivery_link(ClusterId c) { return *delivery_links_[static_cast<std::size_t>(c)]; }
+  Link& bcast_link(ClusterId c) { return *bcast_links_[static_cast<std::size_t>(c)]; }
+
+ private:
+  void deliver_at(sim::SimTime t, Message m);
+  void forward_over_wan(Message m, ClusterId from, ClusterId to, bool as_broadcast);
+
+  sim::Engine* eng_;
+  TopologyConfig cfg_;
+  Topology topo_;
+  TrafficStats stats_;
+  std::uint64_t next_id_ = 1;
+
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;   // per node (incl. gateways)
+  std::vector<std::unique_ptr<Link>> lan_links_;       // per compute node: Myrinet egress
+  std::vector<std::unique_ptr<Link>> access_links_;    // per compute node: FE egress to gateway
+  std::vector<std::unique_ptr<Link>> wan_links_;       // C*C matrix (diagonal unused)
+  std::vector<std::unique_ptr<Link>> delivery_links_;  // per gateway: FE egress into cluster
+  std::vector<std::unique_ptr<Link>> bcast_links_;     // per cluster: Myrinet broadcast
+};
+
+}  // namespace alb::net

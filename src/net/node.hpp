@@ -1,0 +1,18 @@
+#pragma once
+// Node identifiers.
+//
+// Compute nodes are numbered 0 .. C*P-1; cluster c owns the contiguous
+// block [c*P, (c+1)*P). Gateways are extra dedicated nodes numbered
+// C*P .. C*P+C-1 (gateway of cluster c is C*P+c), mirroring DAS where
+// each cluster has one gateway machine that runs no application code.
+
+#include <cstdint>
+
+namespace alb::net {
+
+using NodeId = int;
+using ClusterId = int;
+
+inline constexpr NodeId kNoNode = -1;
+
+}  // namespace alb::net

@@ -1,0 +1,89 @@
+#pragma once
+// Multilevel-cluster topology description.
+//
+// Models the DAS structure from §2 of the paper: C homogeneous clusters
+// of P compute nodes, a fast intracluster network (Myrinet), a dedicated
+// gateway per cluster reached over an access network (Fast Ethernet),
+// and point-to-point WAN circuits (ATM PVCs) between every pair of
+// gateways.
+
+#include <cassert>
+#include <cstddef>
+
+#include "net/node.hpp"
+#include "sim/time.hpp"
+
+namespace alb::net {
+
+/// Parameters of one (unidirectional) link class.
+struct LinkParams {
+  /// One-way propagation latency, charged after serialization completes.
+  sim::SimTime latency = 0;
+  /// Sustained application-level bandwidth.
+  double bandwidth_bytes_per_sec = 1e9;
+  /// Fixed per-message sender-side cost (protocol stack, interrupts).
+  sim::SimTime per_message_overhead = 0;
+
+  /// Time the link is occupied serializing `bytes`. Bandwidth must be
+  /// positive; a non-positive value would make every transfer take
+  /// "forever" and silently wedge the simulation, so it is rejected.
+  sim::SimTime serialize_time(std::size_t bytes) const {
+    assert(bandwidth_bytes_per_sec > 0.0 && "link bandwidth must be positive");
+    double ser = static_cast<double>(bytes) / bandwidth_bytes_per_sec * 1e9;
+    return per_message_overhead + static_cast<sim::SimTime>(ser);
+  }
+};
+
+struct TopologyConfig {
+  int clusters = 1;
+  int nodes_per_cluster = 1;
+
+  /// Intracluster point-to-point network (Myrinet).
+  LinkParams lan;
+  /// Node <-> gateway access network (Fast Ethernet).
+  LinkParams access;
+  /// Gateway <-> gateway wide-area circuit (one PVC per cluster pair).
+  LinkParams wan;
+
+  /// Per-message routing/forwarding cost at a gateway (store-and-forward).
+  sim::SimTime gateway_forward_overhead = 0;
+
+  /// Hardware-supported intracluster broadcast: one serialization at the
+  /// sender, delivery to all cluster members after this latency.
+  LinkParams lan_broadcast;
+};
+
+class Topology {
+ public:
+  explicit Topology(const TopologyConfig& cfg)
+      : clusters_(cfg.clusters), per_cluster_(cfg.nodes_per_cluster) {}
+
+  int clusters() const { return clusters_; }
+  int nodes_per_cluster() const { return per_cluster_; }
+  int num_compute() const { return clusters_ * per_cluster_; }
+  /// Compute nodes plus one gateway per cluster.
+  int num_nodes() const { return num_compute() + clusters_; }
+
+  bool is_gateway(NodeId n) const { return n >= num_compute() && n < num_nodes(); }
+  bool is_compute(NodeId n) const { return n >= 0 && n < num_compute(); }
+
+  ClusterId cluster_of(NodeId n) const {
+    return is_gateway(n) ? static_cast<ClusterId>(n - num_compute())
+                         : static_cast<ClusterId>(n / per_cluster_);
+  }
+  bool same_cluster(NodeId a, NodeId b) const { return cluster_of(a) == cluster_of(b); }
+
+  NodeId gateway_of(ClusterId c) const { return num_compute() + c; }
+  NodeId compute_node(ClusterId c, int index_in_cluster) const {
+    return c * per_cluster_ + index_in_cluster;
+  }
+  int index_in_cluster(NodeId n) const {
+    return is_gateway(n) ? 0 : n % per_cluster_;
+  }
+
+ private:
+  int clusters_;
+  int per_cluster_;
+};
+
+}  // namespace alb::net

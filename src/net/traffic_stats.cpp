@@ -1,0 +1,21 @@
+#include "net/traffic_stats.hpp"
+
+#include <ostream>
+
+namespace alb::net {
+
+void TrafficStats::print(std::ostream& os) const {
+  static constexpr MsgKind kinds[] = {MsgKind::Rpc, MsgKind::RpcReply, MsgKind::Bcast,
+                                      MsgKind::Control, MsgKind::Data};
+  os << "kind        intra-msgs  intra-bytes  inter-msgs  inter-bytes\n";
+  for (MsgKind k : kinds) {
+    const auto& c = kind(k);
+    os << to_string(k);
+    for (std::size_t pad = 12 - std::char_traits<char>::length(to_string(k)); pad > 0; --pad)
+      os << ' ';
+    os << c.intra_msgs << "  " << c.intra_bytes << "  " << c.inter_msgs << "  " << c.inter_bytes
+       << '\n';
+  }
+}
+
+}  // namespace alb::net

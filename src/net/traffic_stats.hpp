@@ -1,0 +1,93 @@
+#pragma once
+// Traffic accounting.
+//
+// The paper's Tables 4 and 5 report intercluster traffic (message counts
+// and kilobytes, split into RPC and broadcast) before and after the
+// wide-area optimizations. We track, per message kind: messages and bytes
+// that stayed inside a cluster, and messages and bytes that crossed a WAN
+// circuit (each WAN crossing counts once, so a broadcast reaching three
+// remote clusters contributes three intercluster messages — it occupies
+// three PVCs).
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+
+#include "net/message.hpp"
+
+namespace alb::net {
+
+struct KindCounters {
+  std::uint64_t intra_msgs = 0;
+  std::uint64_t intra_bytes = 0;
+  std::uint64_t inter_msgs = 0;
+  std::uint64_t inter_bytes = 0;
+};
+
+class TrafficStats {
+ public:
+  static constexpr int kNumKinds = 5;
+
+  void record_intra(MsgKind kind, std::size_t bytes) {
+    auto& c = counters_[index(kind)];
+    ++c.intra_msgs;
+    c.intra_bytes += bytes;
+  }
+  /// One WAN-circuit crossing.
+  void record_inter(MsgKind kind, std::size_t bytes) {
+    auto& c = counters_[index(kind)];
+    ++c.inter_msgs;
+    c.inter_bytes += bytes;
+  }
+
+  const KindCounters& kind(MsgKind k) const { return counters_[index(k)]; }
+
+  /// Convenience aggregates used by the table benches. RPC figures fold
+  /// requests and replies together (count = requests, bytes = both
+  /// directions), matching how the paper reports "# RPC" and "RPC kbyte".
+  std::uint64_t inter_rpc_count() const { return kind(MsgKind::Rpc).inter_msgs; }
+  std::uint64_t inter_rpc_bytes() const {
+    return kind(MsgKind::Rpc).inter_bytes + kind(MsgKind::RpcReply).inter_bytes;
+  }
+  /// Broadcast figures fold in ordering control traffic (sequencer and
+  /// token messages exist only to implement broadcast).
+  std::uint64_t inter_bcast_count() const {
+    return kind(MsgKind::Bcast).inter_msgs + kind(MsgKind::Control).inter_msgs;
+  }
+  std::uint64_t inter_bcast_bytes() const {
+    return kind(MsgKind::Bcast).inter_bytes + kind(MsgKind::Control).inter_bytes;
+  }
+
+  std::uint64_t intra_rpc_count() const { return kind(MsgKind::Rpc).intra_msgs; }
+  std::uint64_t intra_rpc_bytes() const {
+    return kind(MsgKind::Rpc).intra_bytes + kind(MsgKind::RpcReply).intra_bytes;
+  }
+  std::uint64_t intra_bcast_count() const {
+    return kind(MsgKind::Bcast).intra_msgs + kind(MsgKind::Control).intra_msgs;
+  }
+  std::uint64_t intra_data_count() const { return kind(MsgKind::Data).intra_msgs; }
+  std::uint64_t inter_data_count() const { return kind(MsgKind::Data).inter_msgs; }
+  std::uint64_t inter_data_bytes() const { return kind(MsgKind::Data).inter_bytes; }
+  std::uint64_t intra_data_bytes() const { return kind(MsgKind::Data).intra_bytes; }
+
+  std::uint64_t total_messages() const {
+    std::uint64_t n = 0;
+    for (const auto& c : counters_) n += c.intra_msgs + c.inter_msgs;
+    return n;
+  }
+  std::uint64_t total_inter_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& c : counters_) n += c.inter_bytes;
+    return n;
+  }
+
+  void reset() { counters_ = {}; }
+
+  void print(std::ostream& os) const;
+
+ private:
+  static int index(MsgKind k) { return static_cast<int>(k); }
+  std::array<KindCounters, kNumKinds> counters_{};
+};
+
+}  // namespace alb::net

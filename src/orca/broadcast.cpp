@@ -1,0 +1,100 @@
+#include "orca/broadcast.hpp"
+
+#include <cassert>
+
+#include "orca/tags.hpp"
+
+namespace alb::orca {
+
+namespace {
+/// Unordered shipments reuse the broadcast data path with this sentinel
+/// in place of a sequence number.
+constexpr std::uint64_t kUnordered = ~std::uint64_t{0};
+}  // namespace
+
+BroadcastEngine::BroadcastEngine(net::Network& net, Sequencer& seq, ApplyFn apply_op)
+    : net_(&net), seq_(&seq), apply_op_(std::move(apply_op)) {
+  const int compute = net.topology().num_compute();
+  next_to_apply_.assign(static_cast<std::size_t>(compute), 0);
+  reorder_.resize(static_cast<std::size_t>(compute));
+  applied_count_.assign(static_cast<std::size_t>(compute), 0);
+  for (int n = 0; n < compute; ++n) {
+    net.endpoint(n).set_handler(kTagBcastData, [this, n](net::Message m) {
+      const auto& s = net::payload_as<Shipment>(m);
+      if (s.seq == kUnordered) {
+        apply_now(static_cast<net::NodeId>(n), s.op);
+      } else {
+        enqueue(static_cast<net::NodeId>(n), s.seq, s.op);
+      }
+    });
+  }
+}
+
+void BroadcastEngine::disseminate(net::NodeId node, std::size_t bytes, int tag,
+                                  std::shared_ptr<const void> payload) {
+  const auto& topo = net_->topology();
+  if (topo.nodes_per_cluster() > 1) {
+    net::Message m;
+    m.bytes = bytes;
+    m.kind = net::MsgKind::Bcast;
+    m.tag = tag;
+    m.payload = payload;
+    net_->lan_broadcast(node, std::move(m));
+  }
+  const net::ClusterId mine = topo.cluster_of(node);
+  for (net::ClusterId c = 0; c < topo.clusters(); ++c) {
+    if (c == mine) continue;
+    net::Message m;
+    m.bytes = bytes;
+    m.kind = net::MsgKind::Bcast;
+    m.tag = tag;
+    m.payload = payload;
+    net_->wan_broadcast(node, c, std::move(m));
+  }
+}
+
+sim::Task<void> BroadcastEngine::broadcast(net::NodeId node, std::size_t bytes, BcastOp op) {
+  const std::uint64_t seq = co_await seq_->get_sequence(node);
+  auto payload = net::make_payload<Shipment>(Shipment{seq, op});
+  disseminate(node, bytes, kTagBcastData, std::move(payload));
+
+  // Queue the sender's own copy and wait for in-order local application.
+  sim::Future<> applied(net_->engine());
+  local_apply_waiters_.emplace(std::make_pair(node, seq), applied);
+  enqueue(node, seq, std::move(op));
+  co_await applied;
+}
+
+void BroadcastEngine::broadcast_unordered(net::NodeId node, std::size_t bytes, BcastOp op) {
+  auto payload = net::make_payload<Shipment>(Shipment{kUnordered, op});
+  disseminate(node, bytes, kTagBcastData, std::move(payload));
+  apply_now(node, op);
+}
+
+void BroadcastEngine::enqueue(net::NodeId node, std::uint64_t seq, BcastOp op) {
+  auto& buf = reorder_[static_cast<std::size_t>(node)];
+  assert(buf.find(seq) == buf.end() && "duplicate broadcast sequence number");
+  buf.emplace(seq, std::move(op));
+  drain(node);
+}
+
+void BroadcastEngine::drain(net::NodeId node) {
+  auto& buf = reorder_[static_cast<std::size_t>(node)];
+  auto& next = next_to_apply_[static_cast<std::size_t>(node)];
+  for (auto it = buf.find(next); it != buf.end(); it = buf.find(next)) {
+    apply_now(node, it->second);
+    buf.erase(it);
+    if (auto w = local_apply_waiters_.find({node, next}); w != local_apply_waiters_.end()) {
+      w->second.set_value();
+      local_apply_waiters_.erase(w);
+    }
+    ++next;
+  }
+}
+
+void BroadcastEngine::apply_now(net::NodeId node, const BcastOp& op) {
+  ++applied_count_[static_cast<std::size_t>(node)];
+  apply_op_(node, op);
+}
+
+}  // namespace alb::orca

@@ -1,0 +1,250 @@
+#include "orca/runtime.hpp"
+
+#include <algorithm>
+
+namespace alb::orca {
+
+Runtime::Runtime(net::Network& net, Config cfg) : net_(&net) {
+  SequencerKind kind = cfg.sequencer.value_or(net.topology().clusters() == 1
+                                                  ? SequencerKind::Centralized
+                                                  : SequencerKind::Rotating);
+  seq_ = make_sequencer(kind, net, /*seq_node=*/0, cfg.migrate_threshold);
+  bcast_ = std::make_unique<BroadcastEngine>(
+      net, *seq_, [this](net::NodeId node, const BcastOp& op) { apply_bcast_op(node, op); });
+  barrier_local_gen_.assign(static_cast<std::size_t>(nprocs()), 0);
+  install_handlers();
+}
+
+void Runtime::install_handlers() {
+  const int nodes = net_->topology().num_nodes();
+  for (int n = 0; n < nodes; ++n) {
+    net_->endpoint(n).set_handler(kTagRpcRequest, [this, n](net::Message m) {
+      handle_rpc_request(static_cast<net::NodeId>(n), net::payload_as<RpcRequest>(m));
+    });
+    net_->endpoint(n).set_handler(kTagRpcReply, [this](net::Message m) {
+      const auto& rep = net::payload_as<RpcReply>(m);
+      auto it = pending_rpcs_.find(rep.call_id);
+      assert(it != pending_rpcs_.end());
+      it->second.set_value(rep.result);
+      pending_rpcs_.erase(it);
+    });
+    net_->endpoint(n).set_handler(kTagBarrierRelease, [this, n](net::Message m) {
+      auto gen = net::payload_as<std::uint64_t>(m);
+      auto it = barrier_waiters_.find({static_cast<net::NodeId>(n), gen});
+      if (it != barrier_waiters_.end()) {
+        it->second.set_value();
+        barrier_waiters_.erase(it);
+      }
+    });
+  }
+  net_->endpoint(0).set_handler(kTagBarrierArrive, [this](net::Message) {
+    ++barrier_arrivals_;
+    if (barrier_arrivals_ == nprocs()) release_barrier();
+  });
+}
+
+void Runtime::apply_bcast_op(net::NodeId node, const BcastOp& op) {
+  op.apply(holder(op.object_id).state(node));
+  auto& ws = waiters_[static_cast<std::size_t>(op.object_id)];
+  for (auto it = ws.begin(); it != ws.end();) {
+    // Waiters are node-specific: the predicate closure captured the
+    // node's copy. Only re-check the ones registered for this node.
+    if (it->node == node && it->pred()) {
+      it->fut.set_value();
+      it = ws.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Runtime::add_object_waiter(int object_id, net::NodeId node, std::function<bool()> pred,
+                                sim::Future<> fut) {
+  waiters_[static_cast<std::size_t>(object_id)].push_back(
+      ObjectWaiter{std::move(pred), std::move(fut), node});
+}
+
+sim::Task<std::shared_ptr<const void>> Runtime::rpc(
+    net::NodeId caller, net::NodeId target, std::size_t request_bytes, std::size_t reply_bytes,
+    std::function<std::shared_ptr<const void>()> op, sim::SimTime service_time) {
+  if (caller == target) {
+    // Local invocation: no traffic; service time is still CPU work.
+    if (service_time > 0) co_await engine().delay(service_time);
+    co_return op();
+  }
+  const std::uint64_t id = next_call_id_++;
+  sim::Future<std::shared_ptr<const void>> fut(engine());
+  pending_rpcs_.emplace(id, fut);
+
+  net::Message m;
+  m.src = caller;
+  m.dst = target;
+  m.bytes = request_bytes;
+  m.kind = net::MsgKind::Rpc;
+  m.tag = kTagRpcRequest;
+  RpcRequest req;
+  req.call_id = id;
+  req.caller = caller;
+  req.reply_bytes = reply_bytes;
+  req.service_time = service_time;
+  req.op = std::move(op);
+  m.payload = net::make_payload<RpcRequest>(std::move(req));
+  net_->send(std::move(m));
+
+  co_return co_await fut;
+}
+
+sim::Task<std::shared_ptr<const void>> Runtime::rpc_blocking(
+    net::NodeId caller, net::NodeId target, std::size_t request_bytes,
+    std::size_t reply_bytes, std::function<sim::Task<std::shared_ptr<const void>>()> op) {
+  if (caller == target) {
+    co_return co_await op();
+  }
+  const std::uint64_t id = next_call_id_++;
+  sim::Future<std::shared_ptr<const void>> fut(engine());
+  pending_rpcs_.emplace(id, fut);
+
+  net::Message m;
+  m.src = caller;
+  m.dst = target;
+  m.bytes = request_bytes;
+  m.kind = net::MsgKind::Rpc;
+  m.tag = kTagRpcRequest;
+  RpcRequest req;
+  req.call_id = id;
+  req.caller = caller;
+  req.reply_bytes = reply_bytes;
+  req.service_time = 0;
+  req.op_blocking = std::move(op);
+  m.payload = net::make_payload<RpcRequest>(std::move(req));
+  net_->send(std::move(m));
+
+  co_return co_await fut;
+}
+
+void Runtime::send_reply(net::NodeId at, net::NodeId caller, std::uint64_t call_id,
+                         std::size_t reply_bytes, std::shared_ptr<const void> result) {
+  net::Message m;
+  m.src = at;
+  m.dst = caller;
+  m.bytes = reply_bytes;
+  m.kind = net::MsgKind::RpcReply;
+  m.tag = kTagRpcReply;
+  m.payload = net::make_payload<RpcReply>(RpcReply{call_id, std::move(result)});
+  net_->send(std::move(m));
+}
+
+sim::Task<void> Runtime::serve_blocking(net::NodeId at, RpcRequest req) {
+  std::shared_ptr<const void> result = co_await req.op_blocking();
+  send_reply(at, req.caller, req.call_id, req.reply_bytes, std::move(result));
+}
+
+void Runtime::handle_rpc_request(net::NodeId at, RpcRequest req) {
+  if (req.op_blocking) {
+    engine().spawn(serve_blocking(at, std::move(req)));
+    return;
+  }
+  auto reply = [this, at, req = std::move(req)]() {
+    std::shared_ptr<const void> result = req.op();
+    send_reply(at, req.caller, req.call_id, req.reply_bytes, result);
+  };
+  if (req.service_time > 0) {
+    engine().schedule_after(req.service_time, std::move(reply));
+  } else {
+    reply();
+  }
+}
+
+void Runtime::send_data(const Proc& from, int dst_rank, int tag, std::size_t bytes,
+                        std::shared_ptr<const void> payload) {
+  assert(tag >= 0 && "application tags must be non-negative");
+  net::Message m;
+  m.src = from.node;
+  m.dst = static_cast<net::NodeId>(dst_rank);
+  m.bytes = bytes;
+  m.kind = net::MsgKind::Data;
+  m.tag = tag;
+  m.payload = std::move(payload);
+  net_->send(std::move(m));
+}
+
+sim::Task<void> Runtime::barrier(Proc& p) {
+  if (nprocs() == 1) co_return;
+  const std::uint64_t gen = barrier_local_gen_[static_cast<std::size_t>(p.rank)]++;
+  sim::Future<> released(engine());
+  barrier_waiters_.emplace(std::make_pair(p.node, gen), released);
+  if (p.rank == 0) {
+    ++barrier_arrivals_;
+    if (barrier_arrivals_ == nprocs()) release_barrier();
+  } else {
+    net::Message m;
+    m.src = p.node;
+    m.dst = 0;
+    m.bytes = kControlBytes;
+    m.kind = net::MsgKind::Control;
+    m.tag = kTagBarrierArrive;
+    net_->send(std::move(m));
+  }
+  co_await released;
+}
+
+void Runtime::release_barrier() {
+  barrier_arrivals_ = 0;
+  const std::uint64_t gen = barrier_generation_++;
+  const auto& topo = net_->topology();
+  auto payload = net::make_payload<std::uint64_t>(gen);
+  // Release rank 0 directly (it is the broadcaster).
+  if (auto it = barrier_waiters_.find({0, gen}); it != barrier_waiters_.end()) {
+    it->second.set_value();
+    barrier_waiters_.erase(it);
+  }
+  if (topo.nodes_per_cluster() > 1) {
+    net::Message m;
+    m.bytes = kControlBytes;
+    m.kind = net::MsgKind::Control;
+    m.tag = kTagBarrierRelease;
+    m.payload = payload;
+    net_->lan_broadcast(0, std::move(m));
+  }
+  for (net::ClusterId c = 1; c < topo.clusters(); ++c) {
+    net::Message m;
+    m.bytes = kControlBytes;
+    m.kind = net::MsgKind::Control;
+    m.tag = kTagBarrierRelease;
+    m.payload = payload;
+    net_->wan_broadcast(0, c, std::move(m));
+  }
+}
+
+void Runtime::spawn_all(ProcMain main) {
+  const int p = nprocs();
+  procs_.clear();
+  procs_.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    auto proc = std::make_unique<Proc>();
+    proc->rt = this;
+    proc->net = net_;
+    proc->rank = r;
+    proc->nprocs = p;
+    proc->node = static_cast<net::NodeId>(r);
+    proc->rng.reseed(0x5eed0000u + static_cast<std::uint64_t>(r));
+    procs_.push_back(std::move(proc));
+  }
+  for (int r = 0; r < p; ++r) {
+    engine().spawn(run_proc(main, *procs_[static_cast<std::size_t>(r)]));
+  }
+}
+
+sim::Task<void> Runtime::run_proc(ProcMain main, Proc& p) {
+  co_await main(p);
+  last_finish_ = std::max(last_finish_, engine().now());
+  ++finished_;
+}
+
+sim::SimTime Runtime::run_all() {
+  engine().run();
+  assert(finished_ == nprocs() && "some processes never finished (deadlock?)");
+  return last_finish_;
+}
+
+}  // namespace alb::orca

@@ -1,0 +1,170 @@
+#pragma once
+// The Orca-style runtime system.
+//
+// Processes (one per compute node) communicate exclusively through
+// shared objects (see shared_object.hpp) and — for the re-implemented
+// lower-level programs of §4.8 — raw tagged messages. The runtime
+// implements:
+//   * RPC with function shipping for non-replicated objects,
+//   * write-update replication over totally-ordered broadcast for
+//     replicated objects (BroadcastEngine + pluggable Sequencer),
+//   * a message-based global barrier (arrivals to rank 0, broadcast
+//     release), used by apps that need phase synchronization,
+//   * process lifecycle and completion-time bookkeeping for speedup
+//     measurement.
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+#include "orca/broadcast.hpp"
+#include "orca/proc.hpp"
+#include "orca/sequencer.hpp"
+#include "orca/tags.hpp"
+#include "sim/future.hpp"
+#include "sim/task.hpp"
+
+namespace alb::orca {
+
+class Runtime {
+ public:
+  struct Config {
+    /// Broadcast ordering strategy. Default: centralized sequencer on a
+    /// single cluster, per-cluster rotating sequencer on a multicluster
+    /// (the DAS defaults described in §2).
+    std::optional<SequencerKind> sequencer;
+    /// Consecutive remote-cluster requests before a migrating sequencer
+    /// moves (ignored for the other strategies).
+    int migrate_threshold = 2;
+  };
+
+  explicit Runtime(net::Network& net) : Runtime(net, Config{}) {}
+  Runtime(net::Network& net, Config cfg);
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  net::Network& network() { return *net_; }
+  sim::Engine& engine() { return net_->engine(); }
+  int nprocs() const { return net_->topology().num_compute(); }
+  Sequencer& sequencer() { return *seq_; }
+  BroadcastEngine& bcast() { return *bcast_; }
+
+  // --- object registry (type-erased; typed wrappers in shared_object.hpp)
+  struct HolderBase {
+    virtual ~HolderBase() = default;
+    /// The state a given node operates on (per-node copy when
+    /// replicated, the single owner copy otherwise).
+    virtual void* state(net::NodeId node) = 0;
+  };
+  int add_holder(std::unique_ptr<HolderBase> h) {
+    holders_.push_back(std::move(h));
+    waiters_.emplace_back();
+    return static_cast<int>(holders_.size()) - 1;
+  }
+  HolderBase& holder(int id) { return *holders_[static_cast<std::size_t>(id)]; }
+
+  /// Applies a shipped write to `node`'s copy and re-checks blocked
+  /// wait_until() predicates. Called by the broadcast engine.
+  void apply_bcast_op(net::NodeId node, const BcastOp& op);
+
+  /// Registers a predicate waiter for (object, node); resolved after any
+  /// write is applied there and the predicate holds.
+  void add_object_waiter(int object_id, net::NodeId node, std::function<bool()> pred,
+                         sim::Future<> fut);
+
+  // --- RPC ---------------------------------------------------------
+  /// Ships `op` to `target`, runs it there on arrival (after
+  /// `service_time` of simulated server CPU), returns the reply payload.
+  /// caller == target short-circuits without network traffic.
+  sim::Task<std::shared_ptr<const void>> rpc(net::NodeId caller, net::NodeId target,
+                                             std::size_t request_bytes,
+                                             std::size_t reply_bytes,
+                                             std::function<std::shared_ptr<const void>()> op,
+                                             sim::SimTime service_time = 0);
+
+  /// Like rpc(), but the server-side operation is a coroutine that may
+  /// itself block (await other communication) before producing the
+  /// reply — the building block for coordinator/relay services such as
+  /// the cluster cache (§4.1 of the paper).
+  sim::Task<std::shared_ptr<const void>> rpc_blocking(
+      net::NodeId caller, net::NodeId target, std::size_t request_bytes,
+      std::size_t reply_bytes, std::function<sim::Task<std::shared_ptr<const void>>()> op);
+
+  // --- raw messaging (for the C-style re-implementations of §4.8) ---
+  void send_data(const Proc& from, int dst_rank, int tag, std::size_t bytes,
+                 std::shared_ptr<const void> payload = nullptr);
+  auto recv_data(const Proc& p, int tag) { return net_->endpoint(p.node).receive(tag); }
+  std::optional<net::Message> try_recv_data(const Proc& p, int tag) {
+    return net_->endpoint(p.node).try_receive(tag);
+  }
+
+  // --- global barrier ------------------------------------------------
+  sim::Task<void> barrier(Proc& p);
+
+  // --- process lifecycle ---------------------------------------------
+  using ProcMain = std::function<sim::Task<void>(Proc&)>;
+  /// Spawns one process per compute node; rank == node id.
+  void spawn_all(ProcMain main);
+  /// Runs the engine to completion; returns the time the last process
+  /// finished (the parallel run time used for speedups).
+  sim::SimTime run_all();
+
+  Proc& proc(int rank) { return *procs_[static_cast<std::size_t>(rank)]; }
+  sim::SimTime last_finish() const { return last_finish_; }
+  int finished_procs() const { return finished_; }
+
+ private:
+  struct RpcRequest {
+    std::uint64_t call_id;
+    net::NodeId caller;
+    std::size_t reply_bytes;
+    sim::SimTime service_time;
+    std::function<std::shared_ptr<const void>()> op;
+    /// Set instead of `op` for blocking (coroutine) handlers.
+    std::function<sim::Task<std::shared_ptr<const void>>()> op_blocking;
+  };
+  struct RpcReply {
+    std::uint64_t call_id;
+    std::shared_ptr<const void> result;
+  };
+  struct ObjectWaiter {
+    std::function<bool()> pred;
+    sim::Future<> fut;
+    net::NodeId node;
+  };
+
+  void install_handlers();
+  void handle_rpc_request(net::NodeId at, RpcRequest req);
+  sim::Task<void> serve_blocking(net::NodeId at, RpcRequest req);
+  void send_reply(net::NodeId at, net::NodeId caller, std::uint64_t call_id,
+                  std::size_t reply_bytes, std::shared_ptr<const void> result);
+  void release_barrier();
+  sim::Task<void> run_proc(ProcMain main, Proc& p);
+
+  net::Network* net_;
+  std::unique_ptr<Sequencer> seq_;
+  std::unique_ptr<BroadcastEngine> bcast_;
+
+  std::vector<std::unique_ptr<HolderBase>> holders_;
+  std::vector<std::vector<ObjectWaiter>> waiters_;  // indexed by object id
+
+  std::uint64_t next_call_id_ = 1;
+  std::map<std::uint64_t, sim::Future<std::shared_ptr<const void>>> pending_rpcs_;
+
+  // Barrier service state (root = rank 0).
+  int barrier_arrivals_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  std::map<std::pair<net::NodeId, std::uint64_t>, sim::Future<>> barrier_waiters_;
+  std::vector<std::uint64_t> barrier_local_gen_;
+
+  std::vector<std::unique_ptr<Proc>> procs_;
+  sim::SimTime last_finish_ = 0;
+  int finished_ = 0;
+};
+
+}  // namespace alb::orca

@@ -1,0 +1,324 @@
+#include "orca/sequencer.hpp"
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "orca/tags.hpp"
+#include "util/log.hpp"
+
+namespace alb::orca {
+
+namespace {
+
+/// A pending get-sequence call: who asked, and the future its caller is
+/// suspended on. The future is shared simulation state; the *timing* of
+/// its resolution is always driven by the arrival of a grant message.
+struct SeqRequest {
+  net::NodeId requester;
+  sim::Future<std::uint64_t> fut;
+};
+
+struct SeqGrant {
+  sim::Future<std::uint64_t> fut;
+  std::uint64_t seq;
+};
+
+struct TokenKick {
+  net::ClusterId requester_cluster;
+};
+
+class SequencerBase : public Sequencer {
+ public:
+  explicit SequencerBase(net::Network& net) : net_(&net) {}
+
+  std::uint64_t issued() const override { return counter_; }
+
+ protected:
+  net::Network& net() { return *net_; }
+  sim::Engine& eng() { return net_->engine(); }
+  const net::Topology& topo() const { return net_->topology(); }
+
+  std::uint64_t take_seq() { return counter_++; }
+
+  void send_control(net::NodeId from, net::NodeId to, int tag,
+                    std::shared_ptr<const void> payload, std::size_t bytes = kControlBytes) {
+    net::Message m;
+    m.src = from;
+    m.dst = to;
+    m.bytes = bytes;
+    m.kind = net::MsgKind::Control;
+    m.tag = tag;
+    m.payload = std::move(payload);
+    net_->send(std::move(m));
+  }
+
+  /// Grants `seq` to a request: resolves locally if the requester is
+  /// `grantor` itself, otherwise ships a grant message whose arrival
+  /// resolves the caller's future.
+  void grant(net::NodeId grantor, SeqRequest req, std::uint64_t seq) {
+    if (req.requester == grantor) {
+      req.fut.set_value(seq);
+      return;
+    }
+    send_control(grantor, req.requester, kTagSeqReply,
+                 net::make_payload<SeqGrant>(SeqGrant{req.fut, seq}));
+  }
+
+  /// Installs the universal grant-delivery handler on every node.
+  void install_reply_handlers() {
+    for (int n = 0; n < topo().num_nodes(); ++n) {
+      net_->endpoint(n).set_handler(kTagSeqReply, [](net::Message m) {
+        auto g = net::payload_as<SeqGrant>(m);
+        g.fut.set_value(g.seq);
+      });
+    }
+  }
+
+ private:
+  net::Network* net_;
+  std::uint64_t counter_ = 0;
+};
+
+// --------------------------------------------------------------------
+// Centralized: one sequencer machine for the whole system.
+// --------------------------------------------------------------------
+class CentralizedSequencer final : public SequencerBase {
+ public:
+  CentralizedSequencer(net::Network& net, net::NodeId seq_node)
+      : SequencerBase(net), seq_node_(seq_node) {
+    install_reply_handlers();
+    this->net().endpoint(seq_node_).set_handler(kTagSeqRequest, [this](net::Message m) {
+      auto req = net::payload_as<SeqRequest>(m);
+      grant(seq_node_, req, take_seq());
+    });
+  }
+
+  sim::Task<std::uint64_t> get_sequence(net::NodeId node) override {
+    if (node == seq_node_) {
+      co_return take_seq();
+    }
+    sim::Future<std::uint64_t> fut(eng());
+    send_control(node, seq_node_, kTagSeqRequest,
+                 net::make_payload<SeqRequest>(SeqRequest{node, fut}));
+    co_return co_await fut;
+  }
+
+ private:
+  net::NodeId seq_node_;
+};
+
+// --------------------------------------------------------------------
+// Rotating: one sequencer per cluster; a token carrying the right to
+// issue sequence numbers moves around the ring of clusters, so "each
+// cluster broadcasts in turn". The token parks when the system is idle;
+// a request at a non-holding cluster kicks it back into circulation, and
+// it ring-hops (granting pending requests as it passes) until demand is
+// drained. Each hop is a WAN control message — this is exactly the
+// broadcast stall the paper measures for the original ASP.
+// --------------------------------------------------------------------
+class RotatingSequencer final : public SequencerBase {
+ public:
+  explicit RotatingSequencer(net::Network& net) : SequencerBase(net) {
+    pending_.resize(static_cast<std::size_t>(topo().clusters()));
+    install_reply_handlers();
+    for (net::ClusterId c = 0; c < topo().clusters(); ++c) {
+      // The per-cluster sequencer runs on the cluster's first node.
+      net::NodeId sn = seq_node(c);
+      this->net().endpoint(sn).set_handler(kTagSeqRequest, [this, c](net::Message m) {
+        on_local_request(c, net::payload_as<SeqRequest>(m));
+      });
+      this->net().endpoint(sn).set_handler(kTagSeqToken, [this, c](net::Message m) {
+        if (m.bytes >= kTokenBytes) {
+          on_token_arrival(c);
+        } else {
+          on_kick(c, net::payload_as<TokenKick>(m).requester_cluster);
+        }
+      });
+    }
+  }
+
+  sim::Task<std::uint64_t> get_sequence(net::NodeId node) override {
+    const net::ClusterId c = topo().cluster_of(node);
+    sim::Future<std::uint64_t> fut(eng());
+    SeqRequest req{node, fut};
+    if (node == seq_node(c)) {
+      on_local_request(c, req);
+    } else {
+      send_control(node, seq_node(c), kTagSeqRequest, net::make_payload<SeqRequest>(req));
+    }
+    co_return co_await fut;
+  }
+
+ private:
+  static constexpr std::size_t kTokenBytes = 32;
+
+  net::NodeId seq_node(net::ClusterId c) const { return topo().compute_node(c, 0); }
+
+  void on_local_request(net::ClusterId c, SeqRequest req) {
+    ++outstanding_;
+    pending_[static_cast<std::size_t>(c)].push_back(std::move(req));
+    if (holder_ == c && !token_in_flight_) {
+      drain_holder();
+    } else if (!token_in_flight_ && !kick_sent_) {
+      // Wake the parked token: control message to the current holder.
+      kick_sent_ = true;
+      send_control(seq_node(c), seq_node(holder_), kTagSeqToken,
+                   net::make_payload<TokenKick>(TokenKick{c}));
+    }
+    // If the token is already moving it will reach us; nothing to do.
+  }
+
+  void on_kick(net::ClusterId at, net::ClusterId requester) {
+    (void)requester;
+    if (at != holder_ || token_in_flight_) return;  // stale kick; token already moving
+    if (outstanding_ > 0) pass_token();
+  }
+
+  void on_token_arrival(net::ClusterId c) {
+    holder_ = c;
+    token_in_flight_ = false;
+    drain_holder();
+  }
+
+  /// Grants everything queued at the holding cluster, then passes the
+  /// token along. "Each cluster broadcasts in turn": after issuing any
+  /// grants the token always moves one step around the ring (parking at
+  /// the next cluster if the system is idle), so a cluster that
+  /// broadcasts repeatedly pays the full rotation every time — the
+  /// behaviour the paper measures for the original ASP. While requests
+  /// are outstanding anywhere, the token keeps circulating.
+  void drain_holder() {
+    auto& q = pending_[static_cast<std::size_t>(holder_)];
+    std::size_t granted = 0;
+    while (!q.empty()) {
+      SeqRequest req = std::move(q.front());
+      q.pop_front();
+      --outstanding_;
+      grant(seq_node(holder_), std::move(req), take_seq());
+      ++granted;
+    }
+    if ((outstanding_ > 0 || granted > 0) && topo().clusters() > 1) {
+      pass_token();
+    } else {
+      kick_sent_ = false;  // token parks here
+    }
+  }
+
+  void pass_token() {
+    token_in_flight_ = true;
+    kick_sent_ = false;
+    net::ClusterId next = (holder_ + 1) % topo().clusters();
+    net::Message m;
+    m.src = seq_node(holder_);
+    m.dst = seq_node(next);
+    m.bytes = kTokenBytes;
+    m.kind = net::MsgKind::Control;
+    m.tag = kTagSeqToken;
+    net().send(std::move(m));
+  }
+
+  std::vector<std::deque<SeqRequest>> pending_;
+  net::ClusterId holder_ = 0;
+  bool token_in_flight_ = false;
+  bool kick_sent_ = false;
+  int outstanding_ = 0;
+};
+
+// --------------------------------------------------------------------
+// Migrating: a centralized sequencer whose location follows demand.
+// After `threshold` consecutive remote requests from one cluster (or an
+// explicit application hint), the counter migrates to the requesting
+// node, making subsequent get-sequence calls local.
+// --------------------------------------------------------------------
+class MigratingSequencer final : public SequencerBase {
+ public:
+  MigratingSequencer(net::Network& net, net::NodeId start, int threshold)
+      : SequencerBase(net), location_(start), threshold_(threshold) {
+    install_reply_handlers();
+    for (int n = 0; n < topo().num_nodes(); ++n) {
+      this->net().endpoint(n).set_handler(kTagSeqRequest, [this, n](net::Message m) {
+        on_request(static_cast<net::NodeId>(n), net::payload_as<SeqRequest>(m));
+      });
+    }
+  }
+
+  sim::Task<std::uint64_t> get_sequence(net::NodeId node) override {
+    if (node == location_) {
+      note_request_from(node);
+      co_return take_seq();
+    }
+    sim::Future<std::uint64_t> fut(eng());
+    send_control(node, location_, kTagSeqRequest,
+                 net::make_payload<SeqRequest>(SeqRequest{node, fut}));
+    co_return co_await fut;
+  }
+
+  void hint_migrate(net::NodeId node) override {
+    if (node == location_) return;
+    migrate_to(node);
+  }
+
+ private:
+  void on_request(net::NodeId at, SeqRequest req) {
+    if (at != location_) {
+      // The sequencer moved while this request was in flight: forward.
+      send_control(at, location_, kTagSeqRequest, net::make_payload<SeqRequest>(req));
+      return;
+    }
+    const net::NodeId requester = req.requester;
+    note_request_from(requester);
+    grant(at, std::move(req), take_seq());
+    maybe_migrate(requester);
+  }
+
+  void note_request_from(net::NodeId requester) {
+    const net::ClusterId c = topo().cluster_of(requester);
+    if (c == consec_cluster_) {
+      ++consec_count_;
+    } else {
+      consec_cluster_ = c;
+      consec_count_ = 1;
+    }
+  }
+
+  void maybe_migrate(net::NodeId requester) {
+    if (topo().cluster_of(requester) == topo().cluster_of(location_)) return;
+    if (consec_count_ < threshold_) return;
+    migrate_to(requester);
+  }
+
+  void migrate_to(net::NodeId node) {
+    // The counter state travels in a control message (charged); the
+    // location pointer is simulation-shared, with in-flight requests
+    // forwarded on arrival (see on_request).
+    send_control(location_, node, kTagSeqMigrate, nullptr, 2 * kControlBytes);
+    ALB_LOG_AT(util::LogLevel::Debug, eng().now())
+        << "sequencer migrates " << location_ << " -> " << node;
+    location_ = node;
+    consec_cluster_ = topo().cluster_of(node);
+    consec_count_ = 0;
+  }
+
+  net::NodeId location_;
+  int threshold_;
+  net::ClusterId consec_cluster_ = -1;
+  int consec_count_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Sequencer> make_sequencer(SequencerKind kind, net::Network& net,
+                                          net::NodeId seq_node, int migrate_threshold) {
+  switch (kind) {
+    case SequencerKind::Centralized:
+      return std::make_unique<CentralizedSequencer>(net, seq_node);
+    case SequencerKind::Rotating:
+      return std::make_unique<RotatingSequencer>(net);
+    case SequencerKind::Migrating:
+      return std::make_unique<MigratingSequencer>(net, seq_node, migrate_threshold);
+  }
+  return nullptr;
+}
+
+}  // namespace alb::orca

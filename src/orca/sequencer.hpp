@@ -1,0 +1,58 @@
+#pragma once
+// Global sequence-number services for totally-ordered broadcast.
+//
+// The Orca system orders all replicated-object writes through a single
+// global sequence. The paper discusses three implementations:
+//
+//  * CentralizedSequencer — one sequencer machine; cheap on a single
+//    cluster, a WAN roundtrip per broadcast for every remote cluster.
+//  * RotatingSequencer — "a distributed sequencer (one per cluster),
+//    allowing each cluster to broadcast in turn" (§2): a token carrying
+//    the next sequence number moves between per-cluster sequencers on
+//    demand. Better than centralized on a WAN, but a sender whose
+//    cluster does not hold the token still stalls for WAN hops.
+//  * MigratingSequencer — the ASP optimization (§4.3): a centralized
+//    sequencer that migrates to the cluster currently producing
+//    broadcasts, making the common get-sequence local and allowing the
+//    sender to pipeline computation with WAN delivery.
+//
+// Protocol messages are charged to the network as Control traffic. As in
+// any simulator, protocol *state* lives in one address space; every
+// state transition that would require a message in the real system sends
+// one here.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "net/network.hpp"
+#include "sim/future.hpp"
+#include "sim/task.hpp"
+
+namespace alb::orca {
+
+enum class SequencerKind { Centralized, Rotating, Migrating };
+
+class Sequencer {
+ public:
+  virtual ~Sequencer() = default;
+
+  /// Obtains the next global sequence number on behalf of `node`.
+  virtual sim::Task<std::uint64_t> get_sequence(net::NodeId node) = 0;
+
+  /// Application hint: broadcasts will come from `node` for a while
+  /// (no-op except for the migrating sequencer).
+  virtual void hint_migrate(net::NodeId node) { (void)node; }
+
+  /// Sequence numbers issued so far.
+  virtual std::uint64_t issued() const = 0;
+};
+
+/// Factory. `seq_node` is the initial sequencer location (centralized /
+/// migrating); `migrate_threshold` is the number of consecutive
+/// same-cluster remote requests that trigger a migration.
+std::unique_ptr<Sequencer> make_sequencer(SequencerKind kind, net::Network& net,
+                                          net::NodeId seq_node, int migrate_threshold = 2);
+
+}  // namespace alb::orca

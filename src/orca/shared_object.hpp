@@ -1,0 +1,177 @@
+#pragma once
+// Typed shared-object handles — the Orca programming model.
+//
+//   Replicated<T>  — one copy per process. Reads are local and free;
+//                    writes are function-shipped over totally-ordered
+//                    broadcast and return after local application.
+//                    write_async() is the unordered/asynchronous variant
+//                    (commutative operations only).
+//   Remote<T>      — single copy on an owner process. All operations are
+//                    RPCs (local calls when invoked by the owner).
+//
+// Handles are small copyable values; create them through the factory
+// functions below before spawning processes.
+
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "orca/runtime.hpp"
+
+namespace alb::orca {
+
+namespace detail {
+
+template <typename T>
+struct ReplicatedHolder final : Runtime::HolderBase {
+  std::vector<T> copies;
+  ReplicatedHolder(int nprocs, const T& init)
+      : copies(static_cast<std::size_t>(nprocs), init) {}
+  void* state(net::NodeId node) override { return &copies[static_cast<std::size_t>(node)]; }
+};
+
+template <typename T>
+struct RemoteHolder final : Runtime::HolderBase {
+  T value;
+  int owner;
+  RemoteHolder(T init, int owner_rank) : value(std::move(init)), owner(owner_rank) {}
+  void* state(net::NodeId) override { return &value; }
+};
+
+}  // namespace detail
+
+template <typename T>
+class Replicated {
+ public:
+  Replicated() = default;
+  Replicated(Runtime* rt, int id) : rt_(rt), id_(id) {}
+
+  /// Local read-only operation (replicated objects serve reads from the
+  /// local copy at no communication cost — the whole point of
+  /// replication in Orca).
+  template <typename F>
+  auto read(const Proc& p, F&& f) const {
+    return std::forward<F>(f)(copy(p.node));
+  }
+
+  /// Direct const access to the local replica.
+  const T& local(const Proc& p) const { return copy(p.node); }
+
+  /// Totally-ordered write: `bytes` models the shipped operation's
+  /// marshalled size. Returns once applied to the caller's replica.
+  /// `f` is any callable void(T&).
+  template <typename F>
+  sim::Task<void> write(const Proc& p, std::size_t bytes, F&& f) {
+    // Named + moved per the coroutine-argument convention (task.hpp).
+    BcastOp op = make_op(std::forward<F>(f));
+    return rt_->bcast().broadcast(p.node, bytes, std::move(op));
+  }
+
+  /// Asynchronous (unordered) write: fire-and-forget, applies locally
+  /// immediately. Replicas converge only if operations commute.
+  template <typename F>
+  void write_async(const Proc& p, std::size_t bytes, F&& f) {
+    BcastOp op = make_op(std::forward<F>(f));
+    rt_->bcast().broadcast_unordered(p.node, bytes, std::move(op));
+  }
+
+  /// Suspends until `pred` holds on the local replica (re-evaluated
+  /// after every write applied to it). `pred` is any callable
+  /// bool(const T&), deduced (see task.hpp for why).
+  template <typename Pred>
+  sim::Task<void> wait_until(const Proc& p, Pred pred) {
+    const T* state = &copy(p.node);
+    if (pred(*state)) co_return;
+    sim::Future<> fut(rt_->engine());
+    std::function<bool()> check = [state, pred = std::move(pred)] { return pred(*state); };
+    rt_->add_object_waiter(id_, p.node, std::move(check), fut);
+    co_await fut;
+  }
+
+  int id() const { return id_; }
+
+ private:
+  template <typename F>
+  BcastOp make_op(F&& f) const {
+    BcastOp op;
+    op.object_id = id_;
+    op.apply = [f = std::forward<F>(f)](void* s) { f(*static_cast<T*>(s)); };
+    return op;
+  }
+  const T& copy(net::NodeId node) const {
+    return *static_cast<const T*>(rt_->holder(id_).state(node));
+  }
+
+  Runtime* rt_ = nullptr;
+  int id_ = -1;
+};
+
+template <typename T>
+class Remote {
+ public:
+  Remote() = default;
+  Remote(Runtime* rt, int id, int owner) : rt_(rt), id_(id), owner_(owner) {}
+
+  int owner() const { return owner_; }
+
+  /// Invokes `f` (any callable R(T&)) on the object at the owner.
+  /// `request_bytes` / `reply_bytes` model the marshalled operation and
+  /// result sizes; `service_time` is CPU work charged at the owner.
+  template <typename R, typename F>
+  sim::Task<R> invoke(const Proc& p, std::size_t request_bytes, std::size_t reply_bytes,
+                      F f, sim::SimTime service_time = 0) {
+    static_assert(!std::is_void_v<R>, "use invoke_void for void operations");
+    Runtime* rt = rt_;
+    const int id = id_;
+    const int owner = owner_;
+    // Named + moved per the coroutine-argument convention (task.hpp).
+    std::function<std::shared_ptr<const void>()> op =
+        [rt, id, owner, f = std::move(f)]() -> std::shared_ptr<const void> {
+      T& state = *static_cast<T*>(rt->holder(id).state(static_cast<net::NodeId>(owner)));
+      return net::make_payload<R>(f(state));
+    };
+    auto payload = co_await rt->rpc(p.node, static_cast<net::NodeId>(owner), request_bytes,
+                                    reply_bytes, std::move(op), service_time);
+    co_return *static_cast<const R*>(payload.get());
+  }
+
+  template <typename F>
+  sim::Task<void> invoke_void(const Proc& p, std::size_t request_bytes,
+                              std::size_t reply_bytes, F f,
+                              sim::SimTime service_time = 0) {
+    auto wrapped = [f = std::move(f)](T& state) {
+      f(state);
+      return '\0';
+    };
+    (void)co_await invoke<char>(p, request_bytes, reply_bytes, std::move(wrapped),
+                                service_time);
+  }
+
+  /// Direct state access for the owner process and for test assertions.
+  T& state() { return *static_cast<T*>(rt_->holder(id_).state(static_cast<net::NodeId>(owner_))); }
+
+  int id() const { return id_; }
+
+ private:
+  Runtime* rt_ = nullptr;
+  int id_ = -1;
+  int owner_ = 0;
+};
+
+/// Creates a replicated object with one copy per process.
+template <typename T>
+Replicated<T> create_replicated(Runtime& rt, T initial) {
+  int id = rt.add_holder(
+      std::make_unique<detail::ReplicatedHolder<T>>(rt.nprocs(), initial));
+  return Replicated<T>(&rt, id);
+}
+
+/// Creates a non-replicated object stored on `owner_rank`.
+template <typename T>
+Remote<T> create_remote(Runtime& rt, int owner_rank, T initial) {
+  int id = rt.add_holder(
+      std::make_unique<detail::RemoteHolder<T>>(std::move(initial), owner_rank));
+  return Remote<T>(&rt, id, owner_rank);
+}
+
+}  // namespace alb::orca

@@ -1,0 +1,24 @@
+#pragma once
+// Endpoint tags reserved by the runtime. Application tags must be >= 0.
+
+#include <cstddef>
+
+namespace alb::orca {
+
+enum RtsTag : int {
+  kTagRpcRequest = -1,
+  kTagRpcReply = -2,
+  kTagBcastData = -3,
+  kTagSeqRequest = -4,
+  kTagSeqReply = -5,
+  kTagSeqToken = -6,
+  kTagSeqMigrate = -7,
+  kTagBarrierArrive = -8,
+  kTagBarrierRelease = -9,
+};
+
+/// Size of the runtime's small protocol messages (sequence requests,
+/// grants, tokens, barrier arrivals): an 8-byte header plus two words.
+inline constexpr std::size_t kControlBytes = 16;
+
+}  // namespace alb::orca

@@ -1,0 +1,82 @@
+#pragma once
+// Unbounded FIFO channel between simulated processes.
+//
+// send() never blocks (the network model provides backpressure where it
+// matters); receive() is an awaitable that suspends until an item is
+// available. Items are handed to waiters in FIFO order: when a sender
+// finds waiting receivers, it deposits the item directly into the oldest
+// waiter's slot, so no later receive() call can overtake it.
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace alb::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& eng) : eng_(&eng) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t waiting_receivers() const { return waiters_.size(); }
+
+  void send(T item) {
+    if (!waiters_.empty()) {
+      ReceiveAwaiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->slot.emplace(std::move(item));
+      eng_->schedule_after(0, [h = w->handle] { h.resume(); });
+    } else {
+      items_.push_back(std::move(item));
+    }
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_receive() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  auto receive() { return ReceiveAwaiter{this}; }
+
+ private:
+  struct ReceiveAwaiter {
+    Channel* ch;
+    std::optional<T> slot{};
+    std::coroutine_handle<> handle{};
+
+    bool await_ready() {
+      // Only take an item directly if no earlier receiver is queued.
+      if (!ch->items_.empty() && ch->waiters_.empty()) {
+        slot.emplace(std::move(ch->items_.front()));
+        ch->items_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      ch->waiters_.push_back(this);
+    }
+    T await_resume() {
+      assert(slot.has_value());
+      return std::move(*slot);
+    }
+  };
+
+  Engine* eng_;
+  std::deque<T> items_;
+  std::deque<ReceiveAwaiter*> waiters_;
+};
+
+}  // namespace alb::sim

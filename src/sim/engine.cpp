@@ -1,0 +1,115 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace alb::sim {
+
+/// Friend shim so the detached-wrapper coroutine (an implementation
+/// detail below) can report completion without widening Engine's API.
+struct DetachedTask {
+  static void finish(Engine* eng) { eng->note_task_finished(); }
+};
+
+namespace {
+
+/// Detached wrapper coroutine: keeps the spawned Task's frame alive for
+/// its whole run, reports completion to the engine, and self-destructs
+/// (final_suspend = suspend_never).
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() { return {}; }
+    // Eager start: run_detached is invoked from inside a queued event, so
+    // the body begins at exactly the scheduled simulated time.
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    [[noreturn]] void unhandled_exception() noexcept {
+      // A detached simulated process must not leak exceptions: there is
+      // nobody to deliver them to, and continuing would corrupt the run.
+      std::fputs("albatross: unhandled exception escaped a detached process\n", stderr);
+      std::abort();
+    }
+  };
+};
+
+Detached run_detached(Engine* eng, Task<void> task) {
+  struct DoneGuard {
+    Engine* eng;
+    ~DoneGuard() { DetachedTask::finish(eng); }
+  } guard{eng};
+  co_await std::move(task);
+}
+
+}  // namespace
+
+void Engine::schedule_at(SimTime t, UniqueFunction fn) {
+  assert(t >= now_ && "cannot schedule an event in the simulated past");
+  queue_.push(t, std::move(fn));
+}
+
+void Engine::schedule_after(SimTime delay, UniqueFunction fn) {
+  if (delay < 0) delay = 0;
+  queue_.push(now_ + delay, std::move(fn));
+}
+
+void Engine::spawn(Task<void> task) {
+  ++tasks_spawned_;
+  // The Task is move-only; UniqueFunction supports move-only captures.
+  // Starting the wrapper here (inside the queued event) makes the body's
+  // first instructions run at the scheduled time, not at spawn time.
+  schedule_after(0, [this, t = std::move(task)]() mutable {
+    run_detached(this, std::move(t));
+  });
+}
+
+namespace {
+thread_local Engine* g_current_engine = nullptr;
+}  // namespace
+
+Engine* current_engine() { return g_current_engine; }
+
+void schedule_resume_now(std::coroutine_handle<> h) {
+  assert(g_current_engine && "coroutine resumed outside engine dispatch");
+  g_current_engine->schedule_after(0, [h] { h.resume(); });
+}
+
+void Engine::dispatch(EventQueue::Event e) {
+  g_current_engine = this;
+  now_ = e.time;
+  // FNV-1a over time and seq.
+  auto mix = [this](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      trace_hash_ ^= (v >> (i * 8)) & 0xff;
+      trace_hash_ *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(e.time));
+  mix(e.seq);
+  ++events_processed_;
+  e.fn();
+}
+
+std::uint64_t Engine::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stopped_) {
+    dispatch(queue_.pop());
+    ++n;
+  }
+  return n;
+}
+
+bool Engine::run_until(SimTime t) {
+  stopped_ = false;
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    dispatch(queue_.pop());
+    if (stopped_) return false;
+  }
+  if (now_ < t) now_ = t;
+  return true;
+}
+
+}  // namespace alb::sim

@@ -1,0 +1,22 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace alb::sim {
+
+std::uint64_t EventQueue::push(SimTime t, UniqueFunction fn) {
+  std::uint64_t seq = next_seq_++;
+  heap_.push_back(Event{t, seq, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  return seq;
+}
+
+EventQueue::Event EventQueue::pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Event e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
+}
+
+}  // namespace alb::sim

@@ -1,0 +1,47 @@
+#pragma once
+// Deterministic pending-event set.
+//
+// Events are totally ordered by (time, insertion sequence): two events at
+// the same simulated time fire in the order they were scheduled. This
+// FIFO tie-break is what makes every simulation run bit-reproducible.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/unique_function.hpp"
+
+namespace alb::sim {
+
+class EventQueue {
+ public:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    UniqueFunction fn;
+  };
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; undefined when empty.
+  SimTime next_time() const { return heap_.front().time; }
+
+  /// Schedules `fn` at absolute time `t`; returns the event's sequence id.
+  std::uint64_t push(SimTime t, UniqueFunction fn);
+
+  /// Removes and returns the earliest event.
+  Event pop();
+
+ private:
+  // Min-heap via std::push_heap/pop_heap (std::priority_queue cannot hand
+  // back move-only elements).
+  static bool later(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace alb::sim

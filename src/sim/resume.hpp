@@ -1,0 +1,24 @@
+#pragma once
+// Bridge used by Task's final awaiter to resume a continuation through
+// the engine's event queue (at the current simulated time) instead of by
+// symmetric transfer. Resuming through the queue guarantees the awaiting
+// coroutine runs on a clean native stack — it may then destroy the
+// completed child's frame safely — and bounds native stack depth on long
+// await chains. Declared separately to break the engine <-> task include
+// cycle.
+
+#include <coroutine>
+
+namespace alb::sim {
+
+class Engine;
+
+/// The engine currently dispatching events on this thread (null outside
+/// Engine::run / run_until).
+Engine* current_engine();
+
+/// Schedules `h.resume()` as an event at the current simulated time.
+/// Must be called while an engine is dispatching.
+void schedule_resume_now(std::coroutine_handle<> h);
+
+}  // namespace alb::sim

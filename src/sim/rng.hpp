@@ -1,0 +1,71 @@
+#pragma once
+// Deterministic random number generation.
+//
+// xoshiro256** seeded via SplitMix64. Self-contained (not <random>) so
+// that streams are identical across standard libraries and platforms —
+// workload generation must be reproducible for the experiments to be.
+
+#include <cstdint>
+
+namespace alb::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Lemire-style multiply-shift rejection-free reduction is fine here:
+    // slight bias is irrelevant for workload generation, determinism is not.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next_u64()) * static_cast<unsigned __int128>(span);
+    return lo + static_cast<std::int64_t>(m >> 64);
+  }
+
+  /// Shuffles [first, last) with Fisher-Yates.
+  template <typename It>
+  void shuffle(It first, It last) {
+    auto n = last - first;
+    for (decltype(n) i = n - 1; i > 0; --i) {
+      auto j = uniform_int(0, i);
+      using std::swap;
+      swap(first[i], first[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+}  // namespace alb::sim

@@ -1,0 +1,47 @@
+#include "sim/sync.hpp"
+
+#include <cassert>
+
+namespace alb::sim {
+
+Barrier::Barrier(Engine& eng, std::size_t parties) : eng_(&eng), parties_(parties) {
+  assert(parties >= 1);
+}
+
+void Barrier::release_all() {
+  ++generation_;
+  arrived_ = 0;
+  std::vector<std::coroutine_handle<>> to_wake;
+  to_wake.swap(waiting_);
+  for (auto h : to_wake) {
+    eng_->schedule_after(0, [h] { h.resume(); });
+  }
+}
+
+CountdownLatch::CountdownLatch(Engine& eng, std::size_t count) : eng_(&eng), count_(count) {}
+
+void CountdownLatch::count_down(std::size_t n) {
+  assert(n <= count_ && "latch counted down past zero");
+  count_ -= n;
+  if (count_ == 0) {
+    std::vector<std::coroutine_handle<>> to_wake;
+    to_wake.swap(waiting_);
+    for (auto h : to_wake) {
+      eng_->schedule_after(0, [h] { h.resume(); });
+    }
+  }
+}
+
+Semaphore::Semaphore(Engine& eng, std::size_t initial) : eng_(&eng), count_(initial) {}
+
+void Semaphore::release(std::size_t n) {
+  count_ += n;
+  while (count_ > 0 && !waiting_.empty()) {
+    auto h = waiting_.front();
+    waiting_.erase(waiting_.begin());
+    --count_;
+    eng_->schedule_after(0, [h] { h.resume(); });
+  }
+}
+
+}  // namespace alb::sim

@@ -1,0 +1,111 @@
+#pragma once
+// Synchronization primitives for simulated processes.
+//
+// These mirror the shapes parallel programs use (barriers, latches,
+// counting semaphores) but operate in simulated time: waiters resume
+// through the event queue so wake-ups are deterministic.
+
+#include <coroutine>
+#include <cstddef>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace alb::sim {
+
+/// Cyclic barrier for a fixed number of parties. The last arriver
+/// releases everybody and the barrier resets for the next generation.
+class Barrier {
+ public:
+  Barrier(Engine& eng, std::size_t parties);
+
+  std::size_t parties() const { return parties_; }
+  std::size_t arrived() const { return arrived_; }
+  /// Number of completed generations (useful for iteration-count asserts).
+  std::uint64_t generation() const { return generation_; }
+
+  auto arrive_and_wait() {
+    struct Awaiter {
+      Barrier* b;
+      bool await_ready() {
+        if (b->arrived_ + 1 == b->parties_) {
+          b->release_all();
+          return true;  // last arriver passes straight through
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ++b->arrived_;
+        b->waiting_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  void release_all();
+
+  Engine* eng_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+/// One-shot countdown latch: wait() completes once count reaches zero.
+class CountdownLatch {
+ public:
+  CountdownLatch(Engine& eng, std::size_t count);
+
+  void count_down(std::size_t n = 1);
+  std::size_t remaining() const { return count_; }
+
+  auto wait() {
+    struct Awaiter {
+      CountdownLatch* l;
+      bool await_ready() const noexcept { return l->count_ == 0; }
+      void await_suspend(std::coroutine_handle<> h) { l->waiting_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* eng_;
+  std::size_t count_;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+/// Counting semaphore. acquire() suspends while the count is zero;
+/// waiters are served FIFO.
+class Semaphore {
+ public:
+  Semaphore(Engine& eng, std::size_t initial);
+
+  void release(std::size_t n = 1);
+  std::size_t available() const { return count_; }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore* s;
+      bool await_ready() {
+        if (s->count_ > 0 && s->waiting_.empty()) {
+          --s->count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { s->waiting_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* eng_;
+  std::size_t count_;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+}  // namespace alb::sim

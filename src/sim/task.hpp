@@ -1,0 +1,159 @@
+#pragma once
+// Coroutine task type for simulated processes.
+//
+// A Task<T> is a lazily-started coroutine. Awaiting it runs it to
+// completion and yields its value; Engine::spawn() turns a Task<void>
+// into a detached root process. Tasks are single-owner RAII handles:
+// destroying an unfinished Task destroys the coroutine frame.
+//
+// COMPILER NOTE (GCC 12.x, verified on 12.2): a temporary with a
+// NON-TRIVIAL DESTRUCTOR materialized inside a `co_await f(...)` full
+// expression, where f() constructs a coroutine, is destroyed twice
+// (use-after-free). The most common shapes are an inline lambda whose
+// capture list owns resources (shared_ptr, std::function, containers)
+// and aggregate temporaries with such members. The project-wide
+// convention is therefore:
+//   * inline lambdas in co_await expressions may capture only
+//     trivially-destructible state (ints, raw pointers, references);
+//   * anything owning must be bound to a NAMED local first and passed
+//     with std::move(local) — named values and xvalues are safe;
+//   * plain (non-coroutine-constructing) calls are unaffected.
+// The safe patterns are pinned by tests/sim/gcc_workaround_test.cpp and
+// the whole suite runs under AddressSanitizer in CI (see README).
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "sim/resume.hpp"
+
+namespace alb::sim {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+// Continuations are resumed through the engine's event queue rather than
+// by symmetric transfer. A symmetric-transfer chain lets the resumed
+// awaiter destroy this coroutine's frame while its resume machinery is
+// still on the native stack (miscompiled by GCC 12 into a use-after-
+// free), and unbounded chains can exhaust the native stack. Scheduling
+// at +0 keeps simulated time identical and event order deterministic.
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+  template <typename Promise>
+  void await_suspend(std::coroutine_handle<Promise> h) noexcept {
+    auto cont = h.promise().continuation;
+    if (cont) schedule_resume_now(cont);
+  }
+  void await_resume() noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr exception{};
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct TaskPromise final : PromiseBase {
+  std::optional<T> value{};
+
+  Task<T> get_return_object();
+  template <typename U>
+  void return_value(U&& v) {
+    value.emplace(std::forward<U>(v));
+  }
+};
+
+template <>
+struct TaskPromise<void> final : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() noexcept {}
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  /// Awaiting a task starts it; the awaiter resumes when it completes.
+  /// Fast path: the child is started inside await_ready — if it runs to
+  /// completion without suspending, the awaiter never suspends at all
+  /// (no event, no continuation). Only a child that blocked internally
+  /// suspends its awaiter, to be resumed via FinalAwaiter later.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept {
+        if (!handle || handle.done()) return true;
+        handle.resume();  // eager start; we are not suspended yet
+        return handle.done();
+      }
+      void await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+      }
+      T await_resume() {
+        auto& p = handle.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        if constexpr (!std::is_void_v<T>) {
+          assert(p.value.has_value());
+          return std::move(*p.value);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// Releases ownership of the coroutine handle (used by Engine::spawn).
+  std::coroutine_handle<promise_type> release() { return std::exchange(handle_, nullptr); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace alb::sim

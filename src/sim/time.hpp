@@ -1,0 +1,35 @@
+#pragma once
+// Simulated time.
+//
+// All simulation timestamps are integer nanoseconds. Integer time keeps
+// event ordering exact and platform-independent, which the determinism
+// guarantees of the engine (and the reproducibility tests) rely on.
+
+#include <cstdint>
+
+namespace alb::sim {
+
+/// Nanoseconds since the start of the simulation.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr SimTime nanoseconds(std::int64_t n) { return n; }
+constexpr SimTime microseconds(double us) {
+  return static_cast<SimTime>(us * static_cast<double>(kMicrosecond));
+}
+constexpr SimTime milliseconds(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+constexpr SimTime seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_milliseconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_microseconds(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace alb::sim

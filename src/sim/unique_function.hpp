@@ -1,0 +1,45 @@
+#pragma once
+// Move-only callable wrapper (std::function requires copyable targets,
+// which rules out lambdas capturing coroutine Tasks or other move-only
+// state). Minimal: void() signature only, which is all the event queue
+// needs.
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace alb::sim {
+
+class UniqueFunction {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, UniqueFunction>>>
+  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor): function-like
+      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  void operator()() { impl_->call(); }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual void call() = 0;
+  };
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F f) : fn(std::move(f)) {}
+    void call() override { fn(); }
+    F fn;
+  };
+  std::unique_ptr<Base> impl_;
+};
+
+}  // namespace alb::sim

@@ -1,0 +1,41 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace alb::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+std::string* g_capture = nullptr;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+void set_log_capture(std::string* capture) { g_capture = capture; }
+
+void log_line(LogLevel level, std::int64_t sim_now_ns, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::ostringstream os;
+  os << '[' << level_name(level);
+  if (sim_now_ns >= 0) os << " t=" << sim_now_ns << "ns";
+  os << "] " << message << '\n';
+  if (g_capture) {
+    *g_capture += os.str();
+  } else {
+    std::cerr << os.str();
+  }
+}
+
+}  // namespace alb::util

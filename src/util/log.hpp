@@ -1,0 +1,41 @@
+#pragma once
+// Levelled logging with simulated-time stamps.
+//
+// The simulator is single-threaded, so the logger is deliberately simple:
+// a process-global level and sink. Benches run with Warn by default; tests
+// can raise verbosity to trace protocol decisions.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace alb::util {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Installs a capture buffer for tests; pass nullptr to restore stderr.
+void set_log_capture(std::string* capture);
+
+/// Emits one line: "[level t=<ns>ns] message". `sim_now_ns` < 0 omits time.
+void log_line(LogLevel level, std::int64_t sim_now_ns, const std::string& message);
+
+namespace detail {
+struct LogStream {
+  LogLevel level;
+  std::int64_t now_ns;
+  std::ostringstream os;
+  ~LogStream() { log_line(level, now_ns, os.str()); }
+};
+}  // namespace detail
+
+}  // namespace alb::util
+
+#define ALB_LOG_AT(level_, now_ns_)                                       \
+  if (static_cast<int>(level_) < static_cast<int>(::alb::util::log_level())) { \
+  } else                                                                  \
+    ::alb::util::detail::LogStream{level_, now_ns_, {}}.os
+
+#define ALB_LOG(level_) ALB_LOG_AT(::alb::util::LogLevel::level_, -1)

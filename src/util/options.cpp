@@ -1,0 +1,82 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace alb::util {
+
+void Options::define(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  defs_[name] = Def{default_value, help, false};
+}
+
+void Options::define_flag(const std::string& name, const std::string& help) {
+  defs_[name] = Def{"0", help, true};
+}
+
+bool Options::parse(int argc, const char* const* argv) {
+  define_flag("help", "print this help text");
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string key = arg.substr(2);
+    std::optional<std::string> value;
+    if (auto eq = key.find('='); eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    }
+    auto it = defs_.find(key);
+    if (it == defs_.end()) {
+      std::string known;
+      for (const auto& [n, d] : defs_) known += " --" + n;
+      throw std::runtime_error("unknown option --" + key + "; known:" + known);
+    }
+    if (it->second.is_flag) {
+      it->second.value = value.value_or("1");
+    } else if (value) {
+      it->second.value = *value;
+    } else {
+      if (i + 1 >= argc) throw std::runtime_error("option --" + key + " needs a value");
+      it->second.value = argv[++i];
+    }
+  }
+  if (has_flag("help")) {
+    print_usage(argv[0] ? argv[0] : "program");
+    return false;
+  }
+  return true;
+}
+
+bool Options::has_flag(const std::string& name) const {
+  auto it = defs_.find(name);
+  return it != defs_.end() && it->second.value != "0" && !it->second.value.empty();
+}
+
+const std::string& Options::get(const std::string& name) const {
+  auto it = defs_.find(name);
+  if (it == defs_.end()) throw std::runtime_error("option not defined: " + name);
+  return it->second.value;
+}
+
+std::int64_t Options::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+void Options::print_usage(const std::string& program) const {
+  std::cout << "usage: " << program << " [options]\n";
+  for (const auto& [name, def] : defs_) {
+    std::cout << "  --" << name;
+    if (!def.is_flag) std::cout << "=<" << (def.value.empty() ? "value" : def.value) << ">";
+    std::cout << "\n      " << def.help << "\n";
+  }
+}
+
+}  // namespace alb::util

@@ -1,0 +1,48 @@
+#pragma once
+// Minimal command-line option parser shared by bench and example binaries.
+//
+// Syntax accepted: `--flag`, `--key=value`, `--key value`.
+// Unknown options raise an error listing the registered names, so every
+// binary self-documents via --help.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace alb::util {
+
+class Options {
+ public:
+  /// Registers an option with a default value and help text.
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+  /// Registers a boolean flag (default false).
+  void define_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) if --help was given.
+  /// Throws std::runtime_error on unknown or malformed options.
+  bool parse(int argc, const char* const* argv);
+
+  bool has_flag(const std::string& name) const;
+  const std::string& get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+
+  /// Positional (non-option) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  void print_usage(const std::string& program) const;
+
+ private:
+  struct Def {
+    std::string value;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::map<std::string, Def> defs_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace alb::util

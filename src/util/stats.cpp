@@ -1,0 +1,62 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alb::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stdev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double min_of(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0) return xs.front();
+  if (p >= 100) return xs.back();
+  double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(idx);
+  double frac = idx - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::stdev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+}  // namespace alb::util

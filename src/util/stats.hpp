@@ -1,0 +1,38 @@
+#pragma once
+// Small descriptive-statistics helpers used by the benches and tests.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace alb::util {
+
+double mean(std::span<const double> xs);
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stdev(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+/// Linear-interpolated percentile, p in [0,100].
+double percentile(std::vector<double> xs, double p);
+
+/// Online accumulator (Welford) for streaming statistics.
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double stdev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace alb::util

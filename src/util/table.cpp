@@ -1,0 +1,116 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+namespace alb::util {
+
+std::string format_fixed(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  assert(!rows_.empty() && "call row() before add()");
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(double v, int precision) { return add(format_fixed(v, precision)); }
+
+Table& Table::add(long long v) { return add(std::to_string(v)); }
+
+Table& Table::add(unsigned long long v) { return add(std::to_string(v)); }
+
+const std::string& Table::cell(std::size_t r, std::size_t c) const {
+  return rows_.at(r).at(c);
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i >= s.size()) return false;
+  bool digit_seen = false;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c >= '0' && c <= '9') {
+      digit_seen = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+' && c != '%') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+void csv_cell(std::ostream& os, const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells, bool align_numeric) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      bool right = align_numeric && looks_numeric(s);
+      std::size_t pad = width[c] - std::min(width[c], s.size());
+      if (c) os << "  ";
+      if (right) os << std::string(pad, ' ') << s;
+      else os << s << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+  emit(headers_, false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r, true);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    csv_cell(os, headers_[c]);
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      csv_cell(os, r[c]);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace alb::util

@@ -1,0 +1,47 @@
+#pragma once
+// Aligned plain-text and CSV table printing for the benchmark harnesses.
+//
+// The paper's evaluation consists of tables and figure series; every bench
+// binary renders its rows through this printer so that output is uniform
+// and machine-readable with `--csv`.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace alb::util {
+
+/// A simple column-oriented table. Cells are strings; numeric helpers
+/// format with fixed precision. Rendering right-aligns numeric-looking
+/// cells and left-aligns text.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(std::string cell);
+  Table& add(double v, int precision = 2);
+  Table& add(long long v);
+  Table& add(int v) { return add(static_cast<long long>(v)); }
+  Table& add(unsigned long long v);
+  Table& add(std::size_t v) { return add(static_cast<unsigned long long>(v)); }
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+  const std::string& cell(std::size_t r, std::size_t c) const;
+
+  /// Renders an aligned plain-text table.
+  void print(std::ostream& os) const;
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string format_fixed(double v, int precision);
+
+}  // namespace alb::util

@@ -1,0 +1,165 @@
+// Application correctness: parallel results (original AND optimized, on
+// several topologies) must equal the sequential reference, and the
+// optimizations must actually cut intercluster traffic.
+
+#include <gtest/gtest.h>
+
+#include "apps/asp.hpp"
+#include "apps/atpg.hpp"
+#include "apps/tsp.hpp"
+#include "apps/water.hpp"
+
+namespace alb::apps {
+namespace {
+
+AppConfig cfg(int clusters, int per, bool optimized) {
+  AppConfig c;
+  c.clusters = clusters;
+  c.procs_per_cluster = per;
+  c.net_cfg = net::das_config(clusters, per);
+  c.optimized = optimized;
+  return c;
+}
+
+// ---------------------------------------------------------------- ATPG
+AtpgParams small_atpg() {
+  AtpgParams p;
+  p.gates = 200;
+  p.primary_inputs = 12;
+  p.max_vectors_per_fault = 8;
+  return p;
+}
+
+TEST(Atpg, MatchesReferenceAcrossTopologies) {
+  auto prm = small_atpg();
+  const std::uint64_t want = atpg_checksum(atpg_reference(prm, 42));
+  for (bool opt : {false, true}) {
+    for (auto [c, pp] : {std::pair{1, 4}, std::pair{2, 3}, std::pair{4, 2}}) {
+      AppResult r = run_atpg(cfg(c, pp, opt), prm);
+      EXPECT_EQ(r.checksum, want) << "clusters=" << c << " per=" << pp << " opt=" << opt;
+    }
+  }
+}
+
+TEST(Atpg, OptimizationSlashesInterClusterRpcs) {
+  auto prm = small_atpg();
+  AppResult orig = run_atpg(cfg(4, 2, false), prm);
+  AppResult opt = run_atpg(cfg(4, 2, true), prm);
+  EXPECT_GT(orig.traffic.inter_rpc_count(), 50u);
+  // Optimized: intercluster traffic is one data message per remote
+  // cluster (cluster_reduce uses Data messages, not RPCs).
+  EXPECT_EQ(opt.traffic.inter_rpc_count(), 0u);
+  EXPECT_EQ(opt.traffic.kind(net::MsgKind::Data).inter_msgs, 3u);
+  EXPECT_EQ(orig.checksum, opt.checksum);
+}
+
+TEST(Atpg, SingleProcessWorks) {
+  auto prm = small_atpg();
+  AppResult r = run_atpg(cfg(1, 1, false), prm);
+  EXPECT_EQ(r.checksum, atpg_checksum(atpg_reference(prm, 42)));
+  EXPECT_EQ(r.traffic.total_messages(), 0u);
+}
+
+// ----------------------------------------------------------------- TSP
+TspParams small_tsp() {
+  TspParams p;
+  p.cities = 10;
+  p.job_depth = 2;
+  return p;
+}
+
+TEST(Tsp, MatchesReferenceAcrossTopologies) {
+  auto prm = small_tsp();
+  const std::uint64_t want = tsp_checksum(tsp_reference(prm, 42));
+  for (bool opt : {false, true}) {
+    for (auto [c, pp] : {std::pair{1, 4}, std::pair{2, 2}, std::pair{4, 2}}) {
+      AppResult r = run_tsp(cfg(c, pp, opt), prm);
+      EXPECT_EQ(r.checksum, want) << "clusters=" << c << " per=" << pp << " opt=" << opt;
+    }
+  }
+}
+
+TEST(Tsp, BestTourNoLongerThanGreedyBound) {
+  auto prm = small_tsp();
+  AppResult r = run_tsp(cfg(2, 2, false), prm);
+  EXPECT_LE(r.metrics["best_tour"], r.metrics["bound"]);
+}
+
+TEST(Tsp, ClusterQueuesEliminateInterClusterJobFetches) {
+  auto prm = small_tsp();
+  AppResult orig = run_tsp(cfg(4, 2, false), prm);
+  AppResult opt = run_tsp(cfg(4, 2, true), prm);
+  EXPECT_GT(orig.traffic.inter_rpc_count(), 0u);
+  EXPECT_EQ(opt.traffic.inter_rpc_count(), 0u);
+  EXPECT_EQ(orig.checksum, opt.checksum);
+}
+
+// ----------------------------------------------------------------- ASP
+AspParams small_asp() {
+  AspParams p;
+  p.nodes = 48;
+  return p;
+}
+
+TEST(Asp, MatchesReferenceAcrossTopologies) {
+  auto prm = small_asp();
+  const std::uint64_t want = asp_reference_checksum(prm, 42);
+  for (bool opt : {false, true}) {
+    for (auto [c, pp] : {std::pair{1, 4}, std::pair{2, 3}, std::pair{4, 2}}) {
+      AppResult r = run_asp(cfg(c, pp, opt), prm);
+      EXPECT_EQ(r.checksum, want) << "clusters=" << c << " per=" << pp << " opt=" << opt;
+    }
+  }
+}
+
+TEST(Asp, SingleProcessMatchesReference) {
+  auto prm = small_asp();
+  AppResult r = run_asp(cfg(1, 1, false), prm);
+  EXPECT_EQ(r.checksum, asp_reference_checksum(prm, 42));
+}
+
+TEST(Asp, MigratingSequencerBeatsRotatingOnMulticluster) {
+  auto prm = small_asp();
+  AppResult orig = run_asp(cfg(4, 2, false), prm);
+  AppResult opt = run_asp(cfg(4, 2, true), prm);
+  EXPECT_EQ(orig.checksum, opt.checksum);
+  EXPECT_LT(opt.elapsed, orig.elapsed);
+}
+
+// --------------------------------------------------------------- Water
+WaterParams small_water() {
+  WaterParams p;
+  p.molecules = 60;
+  p.steps = 2;
+  return p;
+}
+
+TEST(Water, MatchesReferenceAcrossTopologies) {
+  auto prm = small_water();
+  const std::uint64_t want = water_reference_checksum(prm, 42);
+  for (bool opt : {false, true}) {
+    for (auto [c, pp] : {std::pair{1, 4}, std::pair{2, 3}, std::pair{4, 2},
+                         std::pair{2, 2}, std::pair{1, 5}}) {
+      AppResult r = run_water(cfg(c, pp, opt), prm);
+      EXPECT_EQ(r.checksum, want) << "clusters=" << c << " per=" << pp << " opt=" << opt;
+    }
+  }
+}
+
+TEST(Water, SingleProcessMatchesReference) {
+  auto prm = small_water();
+  AppResult r = run_water(cfg(1, 1, false), prm);
+  EXPECT_EQ(r.checksum, water_reference_checksum(prm, 42));
+}
+
+TEST(Water, CacheReducesInterClusterTraffic) {
+  auto prm = small_water();
+  AppResult orig = run_water(cfg(4, 2, false), prm);
+  AppResult opt = run_water(cfg(4, 2, true), prm);
+  EXPECT_EQ(orig.checksum, opt.checksum);
+  EXPECT_LT(opt.traffic.inter_rpc_count(), orig.traffic.inter_rpc_count());
+  EXPECT_LT(opt.traffic.inter_rpc_bytes(), orig.traffic.inter_rpc_bytes());
+}
+
+}  // namespace
+}  // namespace alb::apps

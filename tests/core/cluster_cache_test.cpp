@@ -1,0 +1,123 @@
+// ClusterCache: one WAN fetch per (cluster, owner, epoch); correctness
+// of blocking fetch-before-publish; unoptimized fallback.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cluster_cache.hpp"
+#include "net/presets.hpp"
+#include "orca/runtime.hpp"
+
+namespace alb::wide {
+namespace {
+
+using Block = std::vector<double>;
+
+struct Fixture {
+  sim::Engine eng;
+  net::Network net;
+  orca::Runtime rt;
+  explicit Fixture(net::TopologyConfig cfg) : net(eng, cfg), rt(net) {}
+};
+
+TEST(ClusterCache, ServesPublishedBlocks) {
+  Fixture f(net::das_config(2, 4));
+  ClusterCache<Block> cache(f.rt, 1024);
+  std::vector<double> seen(8, 0);
+  f.rt.spawn_all([&](orca::Proc& p) -> sim::Task<void> {
+    cache.publish(p, 0, std::make_shared<const Block>(Block{double(p.rank)}));
+    if (p.rank != 0) {
+      auto b = co_await cache.fetch(p, 0, 0);
+      seen[static_cast<std::size_t>(p.rank)] = (*b)[0];
+    }
+  });
+  f.rt.run_all();
+  for (int r = 1; r < 8; ++r) EXPECT_EQ(seen[static_cast<std::size_t>(r)], 0.0);
+}
+
+TEST(ClusterCache, OneWanTransferPerClusterPerEpoch) {
+  Fixture f(net::das_config(2, 4));
+  ClusterCache<Block> cache(f.rt, 4096);
+  f.rt.spawn_all([&](orca::Proc& p) -> sim::Task<void> {
+    cache.publish(p, 0, std::make_shared<const Block>(Block{1.0}));
+    if (p.cluster() == 1) {
+      // All four processes of cluster 1 want rank 0's block.
+      auto b = co_await cache.fetch(p, 0, 0);
+      EXPECT_EQ((*b)[0], 1.0);
+    }
+  });
+  f.rt.run_all();
+  // Exactly one WAN RPC (the coordinator's fetch) should have crossed.
+  EXPECT_EQ(f.net.stats().inter_rpc_count(), 1u);
+  EXPECT_GE(cache.stats().cache_hits, 1u);
+}
+
+TEST(ClusterCache, DisabledFallsBackToPerProcessWanFetches) {
+  Fixture f(net::das_config(2, 4));
+  ClusterCache<Block> cache(f.rt, 4096, /*enabled=*/false);
+  f.rt.spawn_all([&](orca::Proc& p) -> sim::Task<void> {
+    cache.publish(p, 0, std::make_shared<const Block>(Block{1.0}));
+    if (p.cluster() == 1) {
+      (void)co_await cache.fetch(p, 0, 0);
+    }
+  });
+  f.rt.run_all();
+  // Four processes -> four WAN RPCs: the traffic the optimization kills.
+  EXPECT_EQ(f.net.stats().inter_rpc_count(), 4u);
+}
+
+TEST(ClusterCache, FetchBlocksUntilPublished) {
+  Fixture f(net::das_config(2, 2));
+  ClusterCache<Block> cache(f.rt, 256);
+  sim::SimTime got_at = -1;
+  f.rt.spawn_all([&](orca::Proc& p) -> sim::Task<void> {
+    if (p.rank == 0) {
+      co_await p.compute(sim::milliseconds(50));
+      cache.publish(p, 3, std::make_shared<const Block>(Block{42.0}));
+    } else if (p.rank == 2) {
+      auto b = co_await cache.fetch(p, 0, 3);
+      EXPECT_EQ((*b)[0], 42.0);
+      got_at = p.now();
+    }
+  });
+  f.rt.run_all();
+  EXPECT_GE(got_at, sim::milliseconds(50));
+}
+
+TEST(ClusterCache, EpochsAreDistinct) {
+  Fixture f(net::das_config(2, 2));
+  ClusterCache<Block> cache(f.rt, 256);
+  std::vector<double> got;
+  f.rt.spawn_all([&](orca::Proc& p) -> sim::Task<void> {
+    if (p.rank == 0) {
+      for (std::uint64_t e = 0; e < 3; ++e) {
+        cache.publish(p, e, std::make_shared<const Block>(Block{double(e) * 10}));
+      }
+    } else if (p.rank == 2) {
+      for (std::uint64_t e = 0; e < 3; ++e) {
+        auto b = co_await cache.fetch(p, 0, e);
+        got.push_back((*b)[0]);
+      }
+    }
+  });
+  f.rt.run_all();
+  EXPECT_EQ(got, (std::vector<double>{0, 10, 20}));
+}
+
+TEST(ClusterCache, IntraClusterFetchNeverTouchesWan) {
+  Fixture f(net::das_config(2, 4));
+  ClusterCache<Block> cache(f.rt, 512);
+  f.rt.spawn_all([&](orca::Proc& p) -> sim::Task<void> {
+    cache.publish(p, 0, std::make_shared<const Block>(Block{double(p.rank)}));
+    if (p.rank == 1) {
+      auto b = co_await cache.fetch(p, 2, 0);  // same cluster
+      EXPECT_EQ((*b)[0], 2.0);
+    }
+  });
+  f.rt.run_all();
+  EXPECT_EQ(f.net.stats().inter_rpc_count(), 0u);
+}
+
+}  // namespace
+}  // namespace alb::wide

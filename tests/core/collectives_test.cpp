@@ -1,0 +1,131 @@
+// Topology-aware collectives: correctness on assorted topologies and
+// the one-WAN-crossing-per-cluster traffic budget.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "core/collectives.hpp"
+#include "net/presets.hpp"
+
+namespace alb::wide {
+namespace {
+
+struct Fixture {
+  sim::Engine eng;
+  net::Network net;
+  orca::Runtime rt;
+  explicit Fixture(net::TopologyConfig cfg) : net(eng, cfg), rt(net) {}
+};
+
+using TopoParam = std::tuple<int, int>;  // clusters, per-cluster
+
+class CollectiveSweep : public ::testing::TestWithParam<TopoParam> {};
+
+TEST_P(CollectiveSweep, BroadcastDeliversToEveryone) {
+  auto [clusters, per] = GetParam();
+  Fixture f(net::das_config(clusters, per));
+  std::vector<int> got(static_cast<std::size_t>(clusters * per), -1);
+  f.rt.spawn_all([&](orca::Proc& p) -> sim::Task<void> {
+    got[static_cast<std::size_t>(p.rank)] =
+        co_await cluster_broadcast<int>(f.rt, p, 100, /*root=*/0, p.rank == 0 ? 77 : 0, 64);
+  });
+  f.rt.run_all();
+  for (int v : got) EXPECT_EQ(v, 77);
+}
+
+TEST_P(CollectiveSweep, GatherCollectsEveryRankExactlyOnce) {
+  auto [clusters, per] = GetParam();
+  Fixture f(net::das_config(clusters, per));
+  std::vector<int> at_root;
+  f.rt.spawn_all([&](orca::Proc& p) -> sim::Task<void> {
+    auto v = co_await cluster_gather<int>(f.rt, p, 200, /*root=*/0, p.rank * 3, 16);
+    if (p.rank == 0) at_root = v;
+  });
+  f.rt.run_all();
+  ASSERT_EQ(at_root.size(), static_cast<std::size_t>(clusters * per));
+  for (int r = 0; r < clusters * per; ++r) {
+    EXPECT_EQ(at_root[static_cast<std::size_t>(r)], r * 3);
+  }
+}
+
+TEST_P(CollectiveSweep, ScatterDeliversOwnSlice) {
+  auto [clusters, per] = GetParam();
+  const int P = clusters * per;
+  Fixture f(net::das_config(clusters, per));
+  std::vector<int> got(static_cast<std::size_t>(P), -1);
+  f.rt.spawn_all([&](orca::Proc& p) -> sim::Task<void> {
+    std::vector<int> values;
+    if (p.rank == 0) {
+      values.resize(static_cast<std::size_t>(P));
+      std::iota(values.begin(), values.end(), 1000);
+    }
+    got[static_cast<std::size_t>(p.rank)] =
+        co_await cluster_scatter<int>(f.rt, p, 300, 0, std::move(values), 32);
+  });
+  f.rt.run_all();
+  for (int r = 0; r < P; ++r) EXPECT_EQ(got[static_cast<std::size_t>(r)], 1000 + r);
+}
+
+TEST_P(CollectiveSweep, AllgatherGivesEveryoneEverything) {
+  auto [clusters, per] = GetParam();
+  const int P = clusters * per;
+  Fixture f(net::das_config(clusters, per));
+  int checked = 0;
+  f.rt.spawn_all([&](orca::Proc& p) -> sim::Task<void> {
+    auto all = co_await cluster_allgather<int>(f.rt, p, 400, p.rank + 5, 8);
+    EXPECT_EQ(all.size(), static_cast<std::size_t>(P));
+    for (int r = 0; r < P; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r + 5);
+    ++checked;
+  });
+  f.rt.run_all();
+  EXPECT_EQ(checked, P);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, CollectiveSweep,
+                         ::testing::Values(TopoParam{1, 1}, TopoParam{1, 6},
+                                           TopoParam{2, 3}, TopoParam{3, 2},
+                                           TopoParam{4, 4}),
+                         [](const ::testing::TestParamInfo<TopoParam>& info) {
+                           return std::to_string(std::get<0>(info.param)) + "x" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+TEST(CollectiveTraffic, GatherCrossesEachWanCircuitOnce) {
+  Fixture f(net::das_config(4, 4));
+  f.rt.spawn_all([&](orca::Proc& p) -> sim::Task<void> {
+    (void)co_await cluster_gather<int>(f.rt, p, 200, 0, p.rank, 16);
+  });
+  f.rt.run_all();
+  // Exactly one combined message from each of the three remote clusters.
+  EXPECT_EQ(f.net.stats().kind(net::MsgKind::Data).inter_msgs, 3u);
+}
+
+TEST(CollectiveTraffic, BroadcastCrossesEachWanCircuitOnce) {
+  Fixture f(net::das_config(4, 4));
+  f.rt.spawn_all([&](orca::Proc& p) -> sim::Task<void> {
+    (void)co_await cluster_broadcast<int>(f.rt, p, 100, 0, p.rank == 0 ? 9 : 0, 64);
+  });
+  f.rt.run_all();
+  EXPECT_EQ(f.net.stats().kind(net::MsgKind::Data).inter_msgs, 3u);
+}
+
+TEST(CollectiveTraffic, RootOutsideClusterZeroWorks) {
+  Fixture f(net::das_config(3, 3));
+  std::vector<int> at_root;
+  const int root = 5;  // cluster 1, not a leader
+  f.rt.spawn_all([&](orca::Proc& p) -> sim::Task<void> {
+    auto v = co_await cluster_gather<int>(f.rt, p, 200, root, p.rank + 1, 16);
+    if (p.rank == root) at_root = v;
+    int b = co_await cluster_broadcast<int>(f.rt, p, 500, root,
+                                            p.rank == root ? 31 : 0, 16);
+    EXPECT_EQ(b, 31);
+  });
+  f.rt.run_all();
+  ASSERT_EQ(at_root.size(), 9u);
+  for (int r = 0; r < 9; ++r) EXPECT_EQ(at_root[static_cast<std::size_t>(r)], r + 1);
+}
+
+}  // namespace
+}  // namespace alb::wide

@@ -1,0 +1,116 @@
+// Link serialization / queueing math and topology mapping.
+
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+#include "net/presets.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace alb::net {
+namespace {
+
+TEST(LinkParams, SerializeTimeIsOverheadPlusBytesOverBandwidth) {
+  LinkParams p;
+  p.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s => 1000 ns per byte
+  p.per_message_overhead = 500;
+  EXPECT_EQ(p.serialize_time(0), 500);
+  EXPECT_EQ(p.serialize_time(100), 500 + 100 * 1000);
+}
+
+TEST(Link, IdleLinkDeliversAfterSerializationPlusLatency) {
+  sim::Engine eng;
+  LinkParams p;
+  p.latency = 1000;
+  p.bandwidth_bytes_per_sec = 1e9;  // 1 ns per byte
+  p.per_message_overhead = 10;
+  Link link(eng, p);
+  EXPECT_EQ(link.transfer(100), 10 + 100 + 1000);
+  EXPECT_EQ(link.busy_until(), 110);
+}
+
+TEST(Link, BackToBackTransfersQueueFifo) {
+  sim::Engine eng;
+  LinkParams p;
+  p.latency = 0;
+  p.bandwidth_bytes_per_sec = 1e9;
+  p.per_message_overhead = 0;
+  Link link(eng, p);
+  EXPECT_EQ(link.transfer(1000), 1000);
+  EXPECT_EQ(link.transfer(1000), 2000);  // queued behind the first
+  EXPECT_EQ(link.transfer(500), 2500);
+  EXPECT_EQ(link.messages(), 3u);
+  EXPECT_EQ(link.bytes(), 2500u);
+  EXPECT_EQ(link.busy_time(), 2500);
+  EXPECT_EQ(link.queueing_time(), 1000 + 2000);
+}
+
+TEST(Link, IdleGapsAreNotCharged) {
+  sim::Engine eng;
+  LinkParams p;
+  p.latency = 0;
+  p.bandwidth_bytes_per_sec = 1e9;
+  Link link(eng, p);
+  link.transfer(100);
+  eng.schedule_at(10'000, [&] {
+    EXPECT_EQ(link.transfer(100), 10'100);  // starts fresh at now
+  });
+  eng.run();
+  EXPECT_EQ(link.queueing_time(), 0);
+}
+
+TEST(Topology, NodeNumbering) {
+  TopologyConfig cfg;
+  cfg.clusters = 4;
+  cfg.nodes_per_cluster = 15;
+  Topology t(cfg);
+  EXPECT_EQ(t.num_compute(), 60);
+  EXPECT_EQ(t.num_nodes(), 64);
+  EXPECT_EQ(t.cluster_of(0), 0);
+  EXPECT_EQ(t.cluster_of(14), 0);
+  EXPECT_EQ(t.cluster_of(15), 1);
+  EXPECT_EQ(t.cluster_of(59), 3);
+  EXPECT_TRUE(t.is_gateway(60));
+  EXPECT_TRUE(t.is_gateway(63));
+  EXPECT_FALSE(t.is_gateway(59));
+  EXPECT_EQ(t.cluster_of(60), 0);
+  EXPECT_EQ(t.cluster_of(63), 3);
+  EXPECT_EQ(t.gateway_of(2), 62);
+  EXPECT_EQ(t.compute_node(2, 3), 33);
+  EXPECT_EQ(t.index_in_cluster(33), 3);
+  EXPECT_TRUE(t.same_cluster(30, 44));
+  EXPECT_FALSE(t.same_cluster(14, 15));
+}
+
+TEST(Topology, SingleClusterHasOneGateway) {
+  TopologyConfig cfg;
+  cfg.clusters = 1;
+  cfg.nodes_per_cluster = 64;
+  Topology t(cfg);
+  EXPECT_EQ(t.num_compute(), 64);
+  EXPECT_EQ(t.num_nodes(), 65);
+  EXPECT_EQ(t.gateway_of(0), 64);
+}
+
+TEST(Presets, DasWanOneWayIsAboutHalfRoundtrip) {
+  auto cfg = das_config(2, 8);
+  // One-way path: access (overhead 8 + 12 lat) + 50 gw + (10 + 1210) wan
+  // + 50 gw + access (8 + 12) = 1360 us for a null message.
+  sim::SimTime one_way = cfg.access.serialize_time(0) + cfg.access.latency +
+                         cfg.gateway_forward_overhead + cfg.wan.serialize_time(0) +
+                         cfg.wan.latency + cfg.gateway_forward_overhead +
+                         cfg.access.serialize_time(0) + cfg.access.latency;
+  EXPECT_NEAR(static_cast<double>(one_way), 1.35e6, 0.05e6);
+}
+
+TEST(Presets, CustomWanHitsRequestedRoundtrip) {
+  auto cfg = custom_wan_config(2, 8, sim::milliseconds(10), 2e6);
+  sim::SimTime one_way = cfg.access.serialize_time(0) + cfg.access.latency +
+                         cfg.gateway_forward_overhead + cfg.wan.serialize_time(0) +
+                         cfg.wan.latency + cfg.gateway_forward_overhead +
+                         cfg.access.serialize_time(0) + cfg.access.latency;
+  EXPECT_NEAR(static_cast<double>(2 * one_way), 10e6, 0.1e6);
+}
+
+}  // namespace
+}  // namespace alb::net

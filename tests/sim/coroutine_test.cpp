@@ -1,0 +1,221 @@
+// Coroutine machinery tests: Task, spawn, delay, Future, Channel.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/future.hpp"
+#include "sim/task.hpp"
+
+namespace alb::sim {
+namespace {
+
+Task<int> make_forty_two() { co_return 42; }
+
+Task<int> add_tasks() {
+  int a = co_await make_forty_two();
+  int b = co_await make_forty_two();
+  co_return a + b;
+}
+
+TEST(Task, ChainsValues) {
+  Engine eng;
+  int result = 0;
+  eng.spawn([](Engine&, int& out) -> Task<void> {
+    out = co_await add_tasks();
+  }(eng, result));
+  eng.run();
+  EXPECT_EQ(result, 84);
+  EXPECT_EQ(eng.tasks_pending(), 0u);
+}
+
+TEST(Task, DelayAdvancesSimulatedTime) {
+  Engine eng;
+  std::vector<SimTime> stamps;
+  eng.spawn([](Engine& e, std::vector<SimTime>& out) -> Task<void> {
+    out.push_back(e.now());
+    co_await e.delay(microseconds(10));
+    out.push_back(e.now());
+    co_await e.delay(milliseconds(1));
+    out.push_back(e.now());
+  }(eng, stamps));
+  eng.run();
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_EQ(stamps[0], 0);
+  EXPECT_EQ(stamps[1], 10'000);
+  EXPECT_EQ(stamps[2], 1'010'000);
+}
+
+TEST(Task, SpawnOrderIsPreservedAtTimeZero) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    eng.spawn([](std::vector<int>& out, int id) -> Task<void> {
+      out.push_back(id);
+      co_return;
+    }(order, i));
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Task, ExceptionPropagatesToAwaiter) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn([](bool& c) -> Task<void> {
+    auto thrower = []() -> Task<int> {
+      throw std::runtime_error("boom");
+      co_return 0;  // unreachable; makes this a coroutine
+    };
+    try {
+      (void)co_await thrower();
+    } catch (const std::runtime_error& e) {
+      c = std::string(e.what()) == "boom";
+    }
+  }(caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Future, DeliversValueToMultipleWaiters) {
+  Engine eng;
+  Future<int> fut(eng);
+  std::vector<int> got;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn([](Future<int> f, std::vector<int>& out) -> Task<void> {
+      out.push_back(co_await f);
+    }(fut, got));
+  }
+  eng.schedule_after(microseconds(3), [fut]() mutable { fut.set_value(7); });
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{7, 7, 7}));
+}
+
+TEST(Future, ReadyFutureDoesNotSuspend) {
+  Engine eng;
+  Future<int> fut(eng);
+  fut.set_value(5);
+  int got = 0;
+  eng.spawn([](Future<int> f, int& out) -> Task<void> {
+    out = co_await f;
+  }(fut, got));
+  eng.run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(Future, ErrorRethrows) {
+  Engine eng;
+  Future<int> fut(eng);
+  bool caught = false;
+  eng.spawn([](Future<int> f, bool& c) -> Task<void> {
+    try {
+      (void)co_await f;
+    } catch (const std::runtime_error&) {
+      c = true;
+    }
+  }(fut, caught));
+  eng.schedule_after(1, [fut]() mutable {
+    fut.set_error(std::make_exception_ptr(std::runtime_error("rpc failed")));
+  });
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(FutureVoid, CompletesWaiter) {
+  Engine eng;
+  Future<> fut(eng);
+  bool done = false;
+  eng.spawn([](Future<> f, bool& d) -> Task<void> {
+    co_await f;
+    d = true;
+  }(fut, done));
+  eng.schedule_after(10, [fut]() mutable { fut.set_value(); });
+  eng.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Channel, FifoDelivery) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<int> got;
+  eng.spawn([](Channel<int>& c, std::vector<int>& out) -> Task<void> {
+    for (int i = 0; i < 3; ++i) out.push_back(co_await c.receive());
+  }(ch, got));
+  eng.schedule_after(5, [&] {
+    ch.send(1);
+    ch.send(2);
+    ch.send(3);
+  });
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Channel, MultipleReceiversServedInOrder) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<std::pair<int, int>> got;  // (receiver, value)
+  for (int r = 0; r < 3; ++r) {
+    eng.spawn([](Channel<int>& c, std::vector<std::pair<int, int>>& out, int id) -> Task<void> {
+      int v = co_await c.receive();
+      out.emplace_back(id, v);
+    }(ch, got, r));
+  }
+  eng.schedule_after(1, [&] {
+    ch.send(10);
+    ch.send(20);
+    ch.send(30);
+  });
+  eng.run();
+  ASSERT_EQ(got.size(), 3u);
+  // Receivers suspended in spawn order must get values in send order.
+  EXPECT_EQ(got[0], std::make_pair(0, 10));
+  EXPECT_EQ(got[1], std::make_pair(1, 20));
+  EXPECT_EQ(got[2], std::make_pair(2, 30));
+}
+
+TEST(Channel, TryReceiveDoesNotBlock) {
+  Engine eng;
+  Channel<int> ch(eng);
+  EXPECT_FALSE(ch.try_receive().has_value());
+  ch.send(9);
+  auto v = ch.try_receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(Channel, BufferedItemsSurviveUntilReceived) {
+  Engine eng;
+  Channel<std::string> ch(eng);
+  ch.send("hello");
+  std::string got;
+  eng.spawn([](Channel<std::string>& c, std::string& out) -> Task<void> {
+    out = co_await c.receive();
+  }(ch, got));
+  eng.run();
+  EXPECT_EQ(got, "hello");
+}
+
+TEST(Determinism, IdenticalProgramsProduceIdenticalTraces) {
+  auto run = []() {
+    Engine eng;
+    Channel<int> ch(eng);
+    for (int i = 0; i < 4; ++i) {
+      eng.spawn([](Engine& e, Channel<int>& c, int id) -> Task<void> {
+        co_await e.delay(id * 100);
+        c.send(id);
+        int v = co_await c.receive();
+        co_await e.delay(v * 10);
+      }(eng, ch, i));
+    }
+    eng.run();
+    return eng.trace_hash();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace alb::sim

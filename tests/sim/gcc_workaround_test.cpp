@@ -1,0 +1,88 @@
+// Regression coverage for the GCC 12 coroutine-argument bug documented
+// in sim/task.hpp: implicit-conversion temporaries (lambda ->
+// std::function) in a coroutine call's argument list are destroyed
+// twice. These tests exercise the two safe patterns the project uses —
+// deduced template callables and exact-type named+moved arguments —
+// through nested awaits deep enough to have triggered the original
+// use-after-free (caught by the ASan build).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace alb::sim {
+namespace {
+
+Task<std::shared_ptr<const void>> leaf(std::function<std::shared_ptr<const void>()> op) {
+  co_return op();
+}
+
+Task<char> mid_named_move(std::function<char(int&)> f) {
+  int x = 5;
+  std::function<std::shared_ptr<const void>()> op =
+      [f = std::move(f), &x]() -> std::shared_ptr<const void> {
+    return std::make_shared<char>(f(x));
+  };
+  auto payload = co_await leaf(std::move(op));
+  co_return *static_cast<const char*>(payload.get());
+}
+
+template <typename F>
+Task<int> apply_deduced(F f) {
+  co_return f() + 1;
+}
+
+TEST(GccCoroutineWorkaround, NamedMovePatternSurvivesNestedAwaits) {
+  Engine eng;
+  int hits = 0;
+  char result = 0;
+  eng.spawn([](int& hits_out, char& out) -> Task<void> {
+    std::function<void(int&)> inner = [&hits_out](int&) { ++hits_out; };
+    std::function<char(int&)> g = [inner = std::move(inner)](int& s) {
+      inner(s);
+      return 'a';
+    };
+    out = co_await mid_named_move(std::move(g));
+  }(hits, result));
+  eng.run();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(result, 'a');
+}
+
+TEST(GccCoroutineWorkaround, DeducedTemplateCallableIsSafe) {
+  Engine eng;
+  int result = 0;
+  eng.spawn([](int& out) -> Task<void> {
+    int captured = 41;
+    // Lambda passed directly as a deduced parameter: no conversion
+    // temporary is materialized, so this is safe even on GCC 12.
+    out = co_await apply_deduced([&captured] { return captured; });
+  }(result));
+  eng.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(GccCoroutineWorkaround, RepeatedChainsDoNotCorruptHeap) {
+  Engine eng;
+  int total = 0;
+  eng.spawn([](Engine& e, int& out) -> Task<void> {
+    for (int i = 0; i < 100; ++i) {
+      std::function<char(int&)> g = [i](int& s) {
+        s += i;
+        return 'x';
+      };
+      (void)co_await mid_named_move(std::move(g));
+      co_await e.delay(1);
+      ++out;
+    }
+  }(eng, total));
+  eng.run();
+  EXPECT_EQ(total, 100);
+}
+
+}  // namespace
+}  // namespace alb::sim

@@ -1,0 +1,80 @@
+// Deterministic RNG sanity tests.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace alb::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = r.uniform_int(3, 8);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 8);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(11);
+  std::vector<int> v(64);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  r.shuffle(v.begin(), v.end());
+  EXPECT_NE(v, orig);  // 64! chance of failure ~ 0
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng r(123);
+  std::array<std::uint64_t, 8> first{};
+  for (auto& x : first) x = r.next_u64();
+  r.reseed(123);
+  for (auto x : first) EXPECT_EQ(r.next_u64(), x);
+}
+
+}  // namespace
+}  // namespace alb::sim

@@ -1,0 +1,129 @@
+// Barrier / latch / semaphore behaviour in simulated time.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace alb::sim {
+namespace {
+
+TEST(Barrier, ReleasesAllPartiesTogether) {
+  Engine eng;
+  Barrier bar(eng, 4);
+  std::vector<SimTime> release_times;
+  for (int i = 0; i < 4; ++i) {
+    eng.spawn([](Engine& e, Barrier& b, std::vector<SimTime>& out, int id) -> Task<void> {
+      co_await e.delay(id * 1000);  // staggered arrivals
+      co_await b.arrive_and_wait();
+      out.push_back(e.now());
+    }(eng, bar, release_times, i));
+  }
+  eng.run();
+  ASSERT_EQ(release_times.size(), 4u);
+  for (auto t : release_times) EXPECT_EQ(t, 3000);  // all release when last arrives
+  EXPECT_EQ(bar.generation(), 1u);
+}
+
+TEST(Barrier, IsCyclic) {
+  Engine eng;
+  Barrier bar(eng, 2);
+  int laps_a = 0;
+  int laps_b = 0;
+  auto runner = [](Engine& e, Barrier& b, int& laps, SimTime pause) -> Task<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await e.delay(pause);
+      co_await b.arrive_and_wait();
+      ++laps;
+    }
+  };
+  eng.spawn(runner(eng, bar, laps_a, 10));
+  eng.spawn(runner(eng, bar, laps_b, 30));
+  eng.run();
+  EXPECT_EQ(laps_a, 5);
+  EXPECT_EQ(laps_b, 5);
+  EXPECT_EQ(bar.generation(), 5u);
+}
+
+TEST(Barrier, SinglePartyPassesThrough) {
+  Engine eng;
+  Barrier bar(eng, 1);
+  int passes = 0;
+  eng.spawn([](Barrier& b, int& p) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await b.arrive_and_wait();
+      ++p;
+    }
+  }(bar, passes));
+  eng.run();
+  EXPECT_EQ(passes, 3);
+}
+
+TEST(CountdownLatch, WaitersReleaseAtZero) {
+  Engine eng;
+  CountdownLatch latch(eng, 3);
+  SimTime released = -1;
+  eng.spawn([](Engine& e, CountdownLatch& l, SimTime& out) -> Task<void> {
+    co_await l.wait();
+    out = e.now();
+  }(eng, latch, released));
+  for (int i = 1; i <= 3; ++i) {
+    eng.schedule_at(i * 100, [&] { latch.count_down(); });
+  }
+  eng.run();
+  EXPECT_EQ(released, 300);
+}
+
+TEST(CountdownLatch, AlreadyZeroDoesNotSuspend) {
+  Engine eng;
+  CountdownLatch latch(eng, 0);
+  bool done = false;
+  eng.spawn([](CountdownLatch& l, bool& d) -> Task<void> {
+    co_await l.wait();
+    d = true;
+  }(latch, done));
+  eng.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Engine eng;
+  Semaphore sem(eng, 2);
+  int active = 0;
+  int max_active = 0;
+  for (int i = 0; i < 6; ++i) {
+    eng.spawn([](Engine& e, Semaphore& s, int& act, int& max_act) -> Task<void> {
+      co_await s.acquire();
+      ++act;
+      max_act = std::max(max_act, act);
+      co_await e.delay(100);
+      --act;
+      s.release();
+    }(eng, sem, active, max_active));
+  }
+  eng.run();
+  EXPECT_EQ(active, 0);
+  EXPECT_EQ(max_active, 2);
+}
+
+TEST(Semaphore, FifoGrant) {
+  Engine eng;
+  Semaphore sem(eng, 0);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn([](Semaphore& s, std::vector<int>& out, int id) -> Task<void> {
+      co_await s.acquire();
+      out.push_back(id);
+      s.release();
+    }(sem, order, i));
+  }
+  eng.schedule_at(50, [&] { sem.release(); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace alb::sim

@@ -1,0 +1,116 @@
+// util layer tests: table rendering, option parsing, statistics.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/options.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace alb::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"app", "speedup"});
+  t.row().add("Water").add(56.5, 1);
+  t.row().add("TSP").add(62.9, 1);
+  std::ostringstream os;
+  t.print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("Water"), std::string::npos);
+  EXPECT_NE(s.find("56.5"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.row().add("a,b").add("say \"hi\"");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CellAccess) {
+  Table t({"x"});
+  t.row().add(static_cast<long long>(7));
+  EXPECT_EQ(t.cell(0, 0), "7");
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_cols(), 1u);
+}
+
+TEST(Options, ParsesKeyValueForms) {
+  Options o;
+  o.define("nodes", "8", "node count");
+  o.define("bw", "4.53", "bandwidth");
+  o.define_flag("csv", "emit csv");
+  const char* argv[] = {"prog", "--nodes=16", "--bw", "2.5", "--csv"};
+  ASSERT_TRUE(o.parse(5, argv));
+  EXPECT_EQ(o.get_int("nodes"), 16);
+  EXPECT_DOUBLE_EQ(o.get_double("bw"), 2.5);
+  EXPECT_TRUE(o.has_flag("csv"));
+}
+
+TEST(Options, DefaultsApply) {
+  Options o;
+  o.define("nodes", "8", "node count");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(o.parse(1, argv));
+  EXPECT_EQ(o.get_int("nodes"), 8);
+}
+
+TEST(Options, UnknownOptionThrows) {
+  Options o;
+  o.define("nodes", "8", "node count");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(o.parse(2, argv), std::runtime_error);
+}
+
+TEST(Options, HelpReturnsFalse) {
+  Options o;
+  const char* argv[] = {"prog", "--help"};
+  testing::internal::CaptureStdout();
+  EXPECT_FALSE(o.parse(2, argv));
+  (void)testing::internal::GetCapturedStdout();
+}
+
+TEST(Options, PositionalArgumentsCollected) {
+  Options o;
+  const char* argv[] = {"prog", "water", "tsp"};
+  ASSERT_TRUE(o.parse(3, argv));
+  EXPECT_EQ(o.positional(), (std::vector<std::string>{"water", "tsp"}));
+}
+
+TEST(Stats, MeanAndStdev) {
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stdev(xs), 2.138, 0.001);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+}
+
+TEST(Stats, AccumulatorMatchesBatch) {
+  std::vector<double> xs{1.5, 2.5, 3.0, 10.0, -4.0};
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), mean(xs));
+  EXPECT_NEAR(acc.stdev(), stdev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), -4.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 10.0);
+  EXPECT_EQ(acc.count(), xs.size());
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stdev({}), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+}  // namespace
+}  // namespace alb::util
