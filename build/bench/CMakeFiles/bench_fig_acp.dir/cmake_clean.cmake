@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_acp.dir/bench_fig_acp.cpp.o"
+  "CMakeFiles/bench_fig_acp.dir/bench_fig_acp.cpp.o.d"
+  "bench_fig_acp"
+  "bench_fig_acp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_acp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_asp.dir/bench_fig_asp.cpp.o"
+  "CMakeFiles/bench_fig_asp.dir/bench_fig_asp.cpp.o.d"
+  "bench_fig_asp"
+  "bench_fig_asp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_asp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_atpg.dir/bench_fig_atpg.cpp.o"
+  "CMakeFiles/bench_fig_atpg.dir/bench_fig_atpg.cpp.o.d"
+  "bench_fig_atpg"
+  "bench_fig_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

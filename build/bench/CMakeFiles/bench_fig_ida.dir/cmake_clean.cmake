@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_ida.dir/bench_fig_ida.cpp.o"
+  "CMakeFiles/bench_fig_ida.dir/bench_fig_ida.cpp.o.d"
+  "bench_fig_ida"
+  "bench_fig_ida.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_ida.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_ra.dir/bench_fig_ra.cpp.o"
+  "CMakeFiles/bench_fig_ra.dir/bench_fig_ra.cpp.o.d"
+  "bench_fig_ra"
+  "bench_fig_ra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_ra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

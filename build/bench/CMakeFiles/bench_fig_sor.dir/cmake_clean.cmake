@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_sor.dir/bench_fig_sor.cpp.o"
+  "CMakeFiles/bench_fig_sor.dir/bench_fig_sor.cpp.o.d"
+  "bench_fig_sor"
+  "bench_fig_sor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_sor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

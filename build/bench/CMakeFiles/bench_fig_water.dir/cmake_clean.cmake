@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_water.dir/bench_fig_water.cpp.o"
+  "CMakeFiles/bench_fig_water.dir/bench_fig_water.cpp.o.d"
+  "bench_fig_water"
+  "bench_fig_water.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_water.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

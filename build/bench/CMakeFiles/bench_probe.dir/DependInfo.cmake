@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_probe.cpp" "bench/CMakeFiles/bench_probe.dir/bench_probe.cpp.o" "gcc" "bench/CMakeFiles/bench_probe.dir/bench_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/alb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/alb_wide.dir/DependInfo.cmake"
+  "/root/repo/build/src/orca/CMakeFiles/alb_orca.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/alb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

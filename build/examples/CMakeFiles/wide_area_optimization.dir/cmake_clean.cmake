@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_area_optimization.dir/wide_area_optimization.cpp.o"
+  "CMakeFiles/wide_area_optimization.dir/wide_area_optimization.cpp.o.d"
+  "wide_area_optimization"
+  "wide_area_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_area_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

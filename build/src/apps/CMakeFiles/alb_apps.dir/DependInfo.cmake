@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/acp.cpp" "src/apps/CMakeFiles/alb_apps.dir/acp.cpp.o" "gcc" "src/apps/CMakeFiles/alb_apps.dir/acp.cpp.o.d"
+  "/root/repo/src/apps/app_registry.cpp" "src/apps/CMakeFiles/alb_apps.dir/app_registry.cpp.o" "gcc" "src/apps/CMakeFiles/alb_apps.dir/app_registry.cpp.o.d"
+  "/root/repo/src/apps/asp.cpp" "src/apps/CMakeFiles/alb_apps.dir/asp.cpp.o" "gcc" "src/apps/CMakeFiles/alb_apps.dir/asp.cpp.o.d"
+  "/root/repo/src/apps/atpg.cpp" "src/apps/CMakeFiles/alb_apps.dir/atpg.cpp.o" "gcc" "src/apps/CMakeFiles/alb_apps.dir/atpg.cpp.o.d"
+  "/root/repo/src/apps/ida.cpp" "src/apps/CMakeFiles/alb_apps.dir/ida.cpp.o" "gcc" "src/apps/CMakeFiles/alb_apps.dir/ida.cpp.o.d"
+  "/root/repo/src/apps/ra.cpp" "src/apps/CMakeFiles/alb_apps.dir/ra.cpp.o" "gcc" "src/apps/CMakeFiles/alb_apps.dir/ra.cpp.o.d"
+  "/root/repo/src/apps/sor.cpp" "src/apps/CMakeFiles/alb_apps.dir/sor.cpp.o" "gcc" "src/apps/CMakeFiles/alb_apps.dir/sor.cpp.o.d"
+  "/root/repo/src/apps/tsp.cpp" "src/apps/CMakeFiles/alb_apps.dir/tsp.cpp.o" "gcc" "src/apps/CMakeFiles/alb_apps.dir/tsp.cpp.o.d"
+  "/root/repo/src/apps/water.cpp" "src/apps/CMakeFiles/alb_apps.dir/water.cpp.o" "gcc" "src/apps/CMakeFiles/alb_apps.dir/water.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/alb_wide.dir/DependInfo.cmake"
+  "/root/repo/build/src/orca/CMakeFiles/alb_orca.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/alb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alb_apps.dir/acp.cpp.o"
+  "CMakeFiles/alb_apps.dir/acp.cpp.o.d"
+  "CMakeFiles/alb_apps.dir/app_registry.cpp.o"
+  "CMakeFiles/alb_apps.dir/app_registry.cpp.o.d"
+  "CMakeFiles/alb_apps.dir/asp.cpp.o"
+  "CMakeFiles/alb_apps.dir/asp.cpp.o.d"
+  "CMakeFiles/alb_apps.dir/atpg.cpp.o"
+  "CMakeFiles/alb_apps.dir/atpg.cpp.o.d"
+  "CMakeFiles/alb_apps.dir/ida.cpp.o"
+  "CMakeFiles/alb_apps.dir/ida.cpp.o.d"
+  "CMakeFiles/alb_apps.dir/ra.cpp.o"
+  "CMakeFiles/alb_apps.dir/ra.cpp.o.d"
+  "CMakeFiles/alb_apps.dir/sor.cpp.o"
+  "CMakeFiles/alb_apps.dir/sor.cpp.o.d"
+  "CMakeFiles/alb_apps.dir/tsp.cpp.o"
+  "CMakeFiles/alb_apps.dir/tsp.cpp.o.d"
+  "CMakeFiles/alb_apps.dir/water.cpp.o"
+  "CMakeFiles/alb_apps.dir/water.cpp.o.d"
+  "libalb_apps.a"
+  "libalb_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alb_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

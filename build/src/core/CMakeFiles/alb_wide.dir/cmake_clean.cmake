@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alb_wide.dir/wide.cpp.o"
+  "CMakeFiles/alb_wide.dir/wide.cpp.o.d"
+  "libalb_wide.a"
+  "libalb_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alb_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

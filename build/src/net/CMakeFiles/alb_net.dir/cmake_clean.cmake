@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alb_net.dir/network.cpp.o"
+  "CMakeFiles/alb_net.dir/network.cpp.o.d"
+  "CMakeFiles/alb_net.dir/traffic_stats.cpp.o"
+  "CMakeFiles/alb_net.dir/traffic_stats.cpp.o.d"
+  "libalb_net.a"
+  "libalb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alb_orca.dir/broadcast.cpp.o"
+  "CMakeFiles/alb_orca.dir/broadcast.cpp.o.d"
+  "CMakeFiles/alb_orca.dir/runtime.cpp.o"
+  "CMakeFiles/alb_orca.dir/runtime.cpp.o.d"
+  "CMakeFiles/alb_orca.dir/sequencer.cpp.o"
+  "CMakeFiles/alb_orca.dir/sequencer.cpp.o.d"
+  "libalb_orca.a"
+  "libalb_orca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alb_orca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alb_sim.dir/engine.cpp.o"
+  "CMakeFiles/alb_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/alb_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/alb_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/alb_sim.dir/sync.cpp.o"
+  "CMakeFiles/alb_sim.dir/sync.cpp.o.d"
+  "libalb_sim.a"
+  "libalb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alb_util.dir/log.cpp.o"
+  "CMakeFiles/alb_util.dir/log.cpp.o.d"
+  "CMakeFiles/alb_util.dir/options.cpp.o"
+  "CMakeFiles/alb_util.dir/options.cpp.o.d"
+  "CMakeFiles/alb_util.dir/stats.cpp.o"
+  "CMakeFiles/alb_util.dir/stats.cpp.o.d"
+  "CMakeFiles/alb_util.dir/table.cpp.o"
+  "CMakeFiles/alb_util.dir/table.cpp.o.d"
+  "libalb_util.a"
+  "libalb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

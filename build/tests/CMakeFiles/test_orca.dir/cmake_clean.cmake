@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orca.dir/orca/broadcast_test.cpp.o"
+  "CMakeFiles/test_orca.dir/orca/broadcast_test.cpp.o.d"
+  "CMakeFiles/test_orca.dir/orca/rpc_test.cpp.o"
+  "CMakeFiles/test_orca.dir/orca/rpc_test.cpp.o.d"
+  "CMakeFiles/test_orca.dir/orca/stress_test.cpp.o"
+  "CMakeFiles/test_orca.dir/orca/stress_test.cpp.o.d"
+  "test_orca"
+  "test_orca.pdb"
+  "test_orca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cluster_cache_test.cpp" "tests/CMakeFiles/test_wide.dir/core/cluster_cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_wide.dir/core/cluster_cache_test.cpp.o.d"
+  "/root/repo/tests/core/collectives_test.cpp" "tests/CMakeFiles/test_wide.dir/core/collectives_test.cpp.o" "gcc" "tests/CMakeFiles/test_wide.dir/core/collectives_test.cpp.o.d"
+  "/root/repo/tests/core/latency_hiding_test.cpp" "tests/CMakeFiles/test_wide.dir/core/latency_hiding_test.cpp.o" "gcc" "tests/CMakeFiles/test_wide.dir/core/latency_hiding_test.cpp.o.d"
+  "/root/repo/tests/core/reduce_queue_test.cpp" "tests/CMakeFiles/test_wide.dir/core/reduce_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_wide.dir/core/reduce_queue_test.cpp.o.d"
+  "/root/repo/tests/core/steal_combine_test.cpp" "tests/CMakeFiles/test_wide.dir/core/steal_combine_test.cpp.o" "gcc" "tests/CMakeFiles/test_wide.dir/core/steal_combine_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/alb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/alb_wide.dir/DependInfo.cmake"
+  "/root/repo/build/src/orca/CMakeFiles/alb_orca.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/alb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wide.dir/core/cluster_cache_test.cpp.o"
+  "CMakeFiles/test_wide.dir/core/cluster_cache_test.cpp.o.d"
+  "CMakeFiles/test_wide.dir/core/collectives_test.cpp.o"
+  "CMakeFiles/test_wide.dir/core/collectives_test.cpp.o.d"
+  "CMakeFiles/test_wide.dir/core/latency_hiding_test.cpp.o"
+  "CMakeFiles/test_wide.dir/core/latency_hiding_test.cpp.o.d"
+  "CMakeFiles/test_wide.dir/core/reduce_queue_test.cpp.o"
+  "CMakeFiles/test_wide.dir/core/reduce_queue_test.cpp.o.d"
+  "CMakeFiles/test_wide.dir/core/steal_combine_test.cpp.o"
+  "CMakeFiles/test_wide.dir/core/steal_combine_test.cpp.o.d"
+  "test_wide"
+  "test_wide.pdb"
+  "test_wide[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
