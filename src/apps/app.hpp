@@ -43,6 +43,12 @@ struct AppResult {
   /// sequential reference and be identical for original vs optimized
   /// (except where the algorithm legitimately changes, e.g. chaotic SOR).
   std::uint64_t checksum = 0;
+  /// Engine trace hash over the (time, seq) stream of every event the run
+  /// processed — the strictest reproducibility fingerprint we have. Golden
+  /// values are pinned by tests/integration/trace_golden_test.cpp.
+  std::uint64_t trace_hash = 0;
+  /// Total events the engine dispatched for this run.
+  std::uint64_t events = 0;
   net::TrafficStats traffic;
   std::map<std::string, double> metrics;
 };
@@ -62,6 +68,8 @@ struct Harness {
     rt.spawn_all(std::move(main));
     AppResult r;
     r.elapsed = rt.run_all();
+    r.trace_hash = eng.trace_hash();
+    r.events = eng.events_processed();
     r.traffic = net.stats();
     sim::SimTime computed = 0;
     for (int i = 0; i < rt.nprocs(); ++i) computed += rt.proc(i).computed();

@@ -7,8 +7,9 @@
 // one address space, so "shipping" a payload is a shared_ptr copy — the
 // cost model is entirely in `bytes`.
 
-#include <cassert>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
@@ -52,16 +53,29 @@ struct Message {
   std::shared_ptr<const void> payload;
 };
 
-/// Wraps a value for shipment.
+namespace detail {
+
+[[noreturn]] inline void missing_payload(const Message& m) {
+  std::fprintf(stderr,
+               "albatross: payload_as on a message without a payload "
+               "(kind=%s tag=%d id=%llu)\n",
+               to_string(m.kind), m.tag, static_cast<unsigned long long>(m.id));
+  std::abort();
+}
+
+}  // namespace detail
+
+/// Wraps a value for shipment. One allocation: the shared_ptr<const T>
+/// converts to shared_ptr<const void> sharing the same control block.
 template <typename T>
 std::shared_ptr<const void> make_payload(T value) {
-  return std::shared_ptr<const void>(std::make_shared<const T>(std::move(value)));
+  return std::make_shared<const T>(std::move(value));
 }
 
 /// Extracts a payload previously created with make_payload<T>.
 template <typename T>
 const T& payload_as(const Message& m) {
-  assert(m.payload && "message has no payload");
+  if (!m.payload) detail::missing_payload(m);
   return *static_cast<const T*>(m.payload.get());
 }
 

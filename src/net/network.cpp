@@ -42,10 +42,67 @@ Link& Network::wan_link(ClusterId from, ClusterId to) {
 }
 
 void Network::deliver_at(sim::SimTime t, Message m) {
-  NodeId dst = m.dst;
-  eng_->schedule_at(t, [this, dst, m = std::move(m)]() mutable {
-    endpoint(dst).deliver(std::move(m));
-  });
+  auto ev = [this, m = std::move(m)]() mutable {
+    // Postfix expression before argument initialization (C++17 sequencing):
+    // m.dst is read before the move steals the message.
+    endpoint(m.dst).deliver(std::move(m));
+  };
+  static_assert(sim::UniqueFunction::stores_inline<decltype(ev)>,
+                "the delivery event must fit the event queue's inline storage");
+  eng_->schedule_at(t, std::move(ev));
+}
+
+void Network::schedule_hop_at(sim::SimTime t, HopPlan plan) {
+  auto ev = [this, plan = std::move(plan)]() mutable { run_hop(std::move(plan)); };
+  static_assert(sim::UniqueFunction::stores_inline<decltype(ev)>,
+                "a hop event must fit the event queue's inline storage");
+  eng_->schedule_at(t, std::move(ev));
+}
+
+void Network::schedule_hop_after(sim::SimTime delay, HopPlan plan) {
+  auto ev = [this, plan = std::move(plan)]() mutable { run_hop(std::move(plan)); };
+  static_assert(sim::UniqueFunction::stores_inline<decltype(ev)>,
+                "a hop event must fit the event queue's inline storage");
+  eng_->schedule_after(delay, std::move(ev));
+}
+
+void Network::run_hop(HopPlan plan) {
+  switch (plan.stage) {
+    case HopStage::kGatewayIngress: {
+      stats_.record_inter(plan.msg.kind, plan.msg.bytes);
+      // Store-and-forward: the gateway spends its per-message forwarding
+      // overhead, then the message queues on the WAN circuit.
+      plan.stage = HopStage::kWanTransfer;
+      schedule_hop_after(cfg_.gateway_forward_overhead, std::move(plan));
+      break;
+    }
+    case HopStage::kWanTransfer: {
+      const sim::SimTime at_remote_gw = wan_link(plan.from, plan.to).transfer(plan.msg.bytes);
+      plan.stage = HopStage::kGatewayEgress;
+      schedule_hop_at(at_remote_gw, std::move(plan));
+      break;
+    }
+    case HopStage::kGatewayEgress: {
+      plan.stage = HopStage::kClusterDelivery;
+      schedule_hop_after(cfg_.gateway_forward_overhead, std::move(plan));
+      break;
+    }
+    case HopStage::kClusterDelivery: {
+      if (plan.broadcast) {
+        // Remote gateway re-broadcasts into its cluster.
+        const sim::SimTime t = bcast_link(plan.to).transfer(plan.msg.bytes);
+        for (int i = 0; i < topo_.nodes_per_cluster(); ++i) {
+          Message copy = plan.msg;
+          copy.dst = topo_.compute_node(plan.to, i);
+          deliver_at(t, std::move(copy));
+        }
+      } else {
+        const sim::SimTime t = delivery_link(plan.to).transfer(plan.msg.bytes);
+        deliver_at(t, std::move(plan.msg));
+      }
+      break;
+    }
+  }
 }
 
 std::uint64_t Network::send(Message m) {
@@ -79,43 +136,14 @@ std::uint64_t Network::send(Message m) {
   // Intercluster: first hop to the local gateway over Fast Ethernet.
   // (A gateway itself never originates application messages on DAS, but
   // relay code may run there in tests; it goes straight to the WAN.)
-  if (topo_.is_gateway(m.src)) {
-    forward_over_wan(std::move(m), sc, dc, /*as_broadcast=*/false);
+  HopPlan plan{std::move(m), sc, dc, HopStage::kGatewayIngress, /*broadcast=*/false};
+  if (topo_.is_gateway(plan.msg.src)) {
+    run_hop(std::move(plan));
     return id;
   }
-  const sim::SimTime at_gw = access_link(m.src).transfer(m.bytes);
-  eng_->schedule_at(at_gw, [this, sc, dc, m = std::move(m)]() mutable {
-    forward_over_wan(std::move(m), sc, dc, /*as_broadcast=*/false);
-  });
+  const sim::SimTime at_gw = access_link(plan.msg.src).transfer(plan.msg.bytes);
+  schedule_hop_at(at_gw, std::move(plan));
   return id;
-}
-
-void Network::forward_over_wan(Message m, ClusterId from, ClusterId to, bool as_broadcast) {
-  stats_.record_inter(m.kind, m.bytes);
-  // Store-and-forward: the gateway spends its per-message forwarding
-  // overhead, then the message queues on the WAN circuit.
-  eng_->schedule_after(cfg_.gateway_forward_overhead,
-                       [this, from, to, as_broadcast, m = std::move(m)]() mutable {
-    sim::SimTime at_remote_gw = wan_link(from, to).transfer(m.bytes);
-    eng_->schedule_at(at_remote_gw,
-                      [this, to, as_broadcast, m = std::move(m)]() mutable {
-      eng_->schedule_after(cfg_.gateway_forward_overhead,
-                           [this, to, as_broadcast, m = std::move(m)]() mutable {
-        if (as_broadcast) {
-          // Remote gateway re-broadcasts into its cluster.
-          const sim::SimTime t = bcast_link(to).transfer(m.bytes);
-          for (int i = 0; i < topo_.nodes_per_cluster(); ++i) {
-            Message copy = m;
-            copy.dst = topo_.compute_node(to, i);
-            deliver_at(t, std::move(copy));
-          }
-        } else {
-          const sim::SimTime t = delivery_link(to).transfer(m.bytes);
-          deliver_at(t, std::move(m));
-        }
-      });
-    });
-  });
 }
 
 std::uint64_t Network::lan_broadcast(NodeId src, Message m) {
@@ -146,9 +174,8 @@ std::uint64_t Network::wan_broadcast(NodeId src, ClusterId target, Message m) {
   const ClusterId sc = topo_.cluster_of(src);
   const std::uint64_t id = m.id;
   const sim::SimTime at_gw = access_link(src).transfer(m.bytes);
-  eng_->schedule_at(at_gw, [this, sc, target, m = std::move(m)]() mutable {
-    forward_over_wan(std::move(m), sc, target, /*as_broadcast=*/true);
-  });
+  schedule_hop_at(at_gw, HopPlan{std::move(m), sc, target, HopStage::kGatewayIngress,
+                                 /*broadcast=*/true});
   return id;
 }
 

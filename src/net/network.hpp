@@ -62,8 +62,28 @@ class Network {
   Link& bcast_link(ClusterId c) { return *bcast_links_[static_cast<std::size_t>(c)]; }
 
  private:
+  /// One stage of the intercluster store-and-forward path. The whole
+  /// route is a flat plan advanced one hop per event, instead of nested
+  /// capturing lambdas: the Message moves through a single HopPlan value
+  /// that always fits the event queue's inline storage.
+  enum class HopStage : std::uint8_t {
+    kGatewayIngress,   // at the local gateway: account + forwarding overhead
+    kWanTransfer,      // queue on the WAN circuit to the remote gateway
+    kGatewayEgress,    // at the remote gateway: forwarding overhead
+    kClusterDelivery,  // final FE delivery (or local re-broadcast)
+  };
+  struct HopPlan {
+    Message msg;
+    ClusterId from;
+    ClusterId to;
+    HopStage stage;
+    bool broadcast;
+  };
+
+  void run_hop(HopPlan plan);
+  void schedule_hop_at(sim::SimTime t, HopPlan plan);
+  void schedule_hop_after(sim::SimTime delay, HopPlan plan);
   void deliver_at(sim::SimTime t, Message m);
-  void forward_over_wan(Message m, ClusterId from, ClusterId to, bool as_broadcast);
 
   sim::Engine* eng_;
   TopologyConfig cfg_;

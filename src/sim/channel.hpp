@@ -9,11 +9,11 @@
 
 #include <cassert>
 #include <coroutine>
-#include <deque>
 #include <optional>
 #include <utility>
 
 #include "sim/engine.hpp"
+#include "sim/fifo.hpp"
 
 namespace alb::sim {
 
@@ -33,7 +33,7 @@ class Channel {
       ReceiveAwaiter* w = waiters_.front();
       waiters_.pop_front();
       w->slot.emplace(std::move(item));
-      eng_->schedule_after(0, [h = w->handle] { h.resume(); });
+      eng_->schedule_resume_after(0, w->handle);
     } else {
       items_.push_back(std::move(item));
     }
@@ -75,8 +75,8 @@ class Channel {
   };
 
   Engine* eng_;
-  std::deque<T> items_;
-  std::deque<ReceiveAwaiter*> waiters_;
+  Fifo<T> items_;
+  Fifo<ReceiveAwaiter*> waiters_;
 };
 
 }  // namespace alb::sim

@@ -55,14 +55,27 @@ void Engine::schedule_after(SimTime delay, UniqueFunction fn) {
   queue_.push(now_ + delay, std::move(fn));
 }
 
+void Engine::schedule_resume(SimTime t, std::coroutine_handle<> h) {
+  assert(t >= now_ && "cannot schedule an event in the simulated past");
+  queue_.push_resume(t, h);
+}
+
+void Engine::schedule_resume_after(SimTime delay, std::coroutine_handle<> h) {
+  if (delay < 0) delay = 0;
+  queue_.push_resume(now_ + delay, h);
+}
+
 void Engine::spawn(Task<void> task) {
   ++tasks_spawned_;
   // The Task is move-only; UniqueFunction supports move-only captures.
   // Starting the wrapper here (inside the queued event) makes the body's
   // first instructions run at the scheduled time, not at spawn time.
-  schedule_after(0, [this, t = std::move(task)]() mutable {
+  auto start = [this, t = std::move(task)]() mutable {
     run_detached(this, std::move(t));
-  });
+  };
+  static_assert(UniqueFunction::stores_inline<decltype(start)>,
+                "the spawn starter must fit the event queue's inline storage");
+  schedule_after(0, std::move(start));
 }
 
 namespace {
@@ -73,7 +86,7 @@ Engine* current_engine() { return g_current_engine; }
 
 void schedule_resume_now(std::coroutine_handle<> h) {
   assert(g_current_engine && "coroutine resumed outside engine dispatch");
-  g_current_engine->schedule_after(0, [h] { h.resume(); });
+  g_current_engine->schedule_resume_after(0, h);
 }
 
 void Engine::dispatch(EventQueue::Event e) {
@@ -89,7 +102,7 @@ void Engine::dispatch(EventQueue::Event e) {
   mix(static_cast<std::uint64_t>(e.time));
   mix(e.seq);
   ++events_processed_;
-  e.fn();
+  e.run();
 }
 
 std::uint64_t Engine::run() {

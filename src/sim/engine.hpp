@@ -28,6 +28,14 @@ class Engine {
   /// Schedules `fn` after `delay` nanoseconds (negative delays clamp to 0).
   void schedule_after(SimTime delay, UniqueFunction fn);
 
+  /// Coroutine fast path: schedules `h.resume()` at absolute time `t`
+  /// without wrapping the handle in a callable. Used by delay(), Future,
+  /// Channel and the Task continuation bridge — the steady-state resume
+  /// path allocates nothing.
+  void schedule_resume(SimTime t, std::coroutine_handle<> h);
+  /// Same, `delay` nanoseconds from now (negative delays clamp to 0).
+  void schedule_resume_after(SimTime delay, std::coroutine_handle<> h);
+
   /// Starts a detached root process. The coroutine body begins executing
   /// at the current simulated time, through the event queue (so spawns
   /// performed during setup all begin at t=0, in spawn order).
@@ -50,9 +58,7 @@ class Engine {
       Engine* eng;
       SimTime d;
       bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<> h) {
-        eng->schedule_after(d, [h] { h.resume(); });
-      }
+      void await_suspend(std::coroutine_handle<> h) { eng->schedule_resume_after(d, h); }
       void await_resume() const noexcept {}
     };
     return Awaiter{this, d};

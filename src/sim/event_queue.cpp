@@ -5,17 +5,102 @@
 
 namespace alb::sim {
 
+std::uint32_t EventQueue::acquire_node() {
+  if (!free_nodes_.empty()) {
+    const std::uint32_t n = free_nodes_.back();
+    free_nodes_.pop_back();
+    return n;
+  }
+  if (nodes_in_use_ == (chunks_.size() << kChunkShift)) {
+    chunks_.push_back(std::make_unique<Node[]>(std::size_t{1} << kChunkShift));
+  }
+  return nodes_in_use_++;
+}
+
+std::uint64_t EventQueue::enqueue(SimTime t, std::uint32_t n) {
+  Node& nd = node(n);
+  nd.seq = next_seq_++;
+  nd.next = kNil;
+  if (TimeMap::Cell* c = lists_.find(t)) {
+    node(c->tail).next = n;
+    c->tail = n;
+  } else {
+    TimeMap::Cell& fresh = lists_.insert(t);
+    fresh.head = n;
+    fresh.tail = n;
+    heap_push(t);
+  }
+  ++size_;
+  return nd.seq;
+}
+
 std::uint64_t EventQueue::push(SimTime t, UniqueFunction fn) {
-  std::uint64_t seq = next_seq_++;
-  heap_.push_back(Event{t, seq, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), later);
-  return seq;
+  const std::uint32_t n = acquire_node();
+  node(n).fn = std::move(fn);
+  return enqueue(t, n);
+}
+
+std::uint64_t EventQueue::push_resume(SimTime t, std::coroutine_handle<> h) {
+  const std::uint32_t n = acquire_node();
+  node(n).resume = h;
+  return enqueue(t, n);
+}
+
+void EventQueue::heap_push(SimTime t) {
+  // Sift-up with a hole: the new entry is only written once, into its
+  // final position.
+  std::size_t i = heap_times_.size();
+  heap_times_.emplace_back();
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!(t < heap_times_[parent])) break;
+    heap_times_[i] = heap_times_[parent];
+    i = parent;
+  }
+  heap_times_[i] = t;
+}
+
+void EventQueue::heap_pop() {
+  const SimTime vt = heap_times_.back();
+  heap_times_.pop_back();
+  if (heap_times_.empty()) return;
+  const std::size_t n = heap_times_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t best = first;
+    SimTime bt = heap_times_[first];
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_times_[c] < bt) {
+        bt = heap_times_[c];
+        best = c;
+      }
+    }
+    if (!(bt < vt)) break;
+    heap_times_[i] = bt;
+    i = best;
+  }
+  heap_times_[i] = vt;
 }
 
 EventQueue::Event EventQueue::pop() {
-  std::pop_heap(heap_.begin(), heap_.end(), later);
-  Event e = std::move(heap_.back());
-  heap_.pop_back();
+  const SimTime top_time = heap_times_.front();
+  TimeMap::Cell* c = lists_.find(top_time);
+  const std::uint32_t ni = c->head;
+  Node& nd = node(ni);
+  if (nd.next == kNil) {
+    // Last event at this time: retire its list and heap entry.
+    lists_.erase(top_time);
+    heap_pop();
+  } else {
+    c->head = nd.next;
+  }
+  Event e{top_time, nd.seq, nd.resume, std::move(nd.fn)};
+  nd.resume = nullptr;
+  free_nodes_.push_back(ni);
+  --size_;
   return e;
 }
 

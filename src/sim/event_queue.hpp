@@ -4,44 +4,103 @@
 // Events are totally ordered by (time, insertion sequence): two events at
 // the same simulated time fire in the order they were scheduled. This
 // FIFO tie-break is what makes every simulation run bit-reproducible.
+// Because the order is total, the extraction sequence is independent of
+// the container's internal shape — which frees the implementation to
+// optimize storage around how simulations actually schedule:
+//
+//   * pending times repeat heavily (same-time wakeups, link busy-until
+//     clustering), so the priority heap holds one 16-byte POD entry per
+//     DISTINCT time, not per event — most pushes and pops never sift;
+//   * all events at one time form an intrusive FIFO list through a
+//     recycled node pool (chunked, so node addresses are stable and pool
+//     growth never moves live events); FIFO order IS seq order because
+//     the sequence counter is monotonic;
+//   * nodes, list heads and the time->list index are all recycled — a
+//     steady-state push/pop cycle performs no heap allocation;
+//   * an event body is either a callable (UniqueFunction, itself
+//     small-buffer optimized) or a bare coroutine handle: the coroutine
+//     fast path used by Engine::schedule_resume skips closure storage.
 
+#include <coroutine>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/time_map.hpp"
 #include "sim/unique_function.hpp"
 
 namespace alb::sim {
 
 class EventQueue {
  public:
+  /// A popped event: exactly one of {resume, fn} is set.
   struct Event {
     SimTime time;
     std::uint64_t seq;
+    std::coroutine_handle<> resume{};
     UniqueFunction fn;
+
+    /// Runs the event body (coroutine fast path or callable).
+    void run() {
+      if (resume) {
+        resume.resume();
+      } else {
+        fn();
+      }
+    }
   };
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
 
   /// Time of the earliest pending event; undefined when empty.
-  SimTime next_time() const { return heap_.front().time; }
+  SimTime next_time() const { return heap_times_.front(); }
 
   /// Schedules `fn` at absolute time `t`; returns the event's sequence id.
   std::uint64_t push(SimTime t, UniqueFunction fn);
+
+  /// Coroutine fast path: schedules a bare handle resumption at `t`.
+  std::uint64_t push_resume(SimTime t, std::coroutine_handle<> h);
 
   /// Removes and returns the earliest event.
   Event pop();
 
  private:
-  // Min-heap via std::push_heap/pop_heap (std::priority_queue cannot hand
-  // back move-only elements).
-  static bool later(const Event& a, const Event& b) {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
-  std::vector<Event> heap_;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// One pending event body; `next` chains same-time events in FIFO
+  /// (= seq) order.
+  struct Node {
+    std::uint64_t seq = 0;
+    std::uint32_t next = kNil;
+    std::coroutine_handle<> resume{};
+    UniqueFunction fn;
+  };
+  // Chunked node pool: stable addresses (growth never moves live
+  // events), recycled through a free list.
+  static constexpr std::uint32_t kChunkShift = 8;  // 256 nodes per chunk
+  static constexpr std::uint32_t kChunkMask = (1u << kChunkShift) - 1;
+
+  Node& node(std::uint32_t i) { return chunks_[i >> kChunkShift][i & kChunkMask]; }
+  std::uint32_t acquire_node();
+  std::uint64_t enqueue(SimTime t, std::uint32_t n);
+  void heap_push(SimTime t);
+  void heap_pop();
+
+  // 8-ary implicit heap of bare times, one entry per distinct pending
+  // time (times in the heap are unique — each one's FIFO list lives in
+  // its TimeMap cell). Eight 8-byte keys per cache line, so a sift-down
+  // level's child scan costs roughly one line.
+  static constexpr std::size_t kArity = 8;
+
+  std::vector<SimTime> heap_times_;
+  TimeMap lists_;  // time -> {head, tail} of its pending FIFO list
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::vector<std::uint32_t> free_nodes_;
+  std::uint32_t nodes_in_use_ = 0;  // high-water count of constructed nodes
   std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;
 };
 
 }  // namespace alb::sim

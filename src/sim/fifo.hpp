@@ -1,0 +1,58 @@
+#pragma once
+// Ring-buffer FIFO.
+//
+// std::deque marches through its block map as elements are pushed and
+// popped, allocating a fresh block every few hundred operations even when
+// the queue stays tiny. This FIFO reuses a power-of-two ring instead:
+// steady-state push/pop never touches the heap, which the hot-path
+// allocation tests rely on. T must be default-constructible and
+// move-assignable.
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace alb::sim {
+
+template <typename T>
+class Fifo {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push_back(T v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(v);
+    ++size_;
+  }
+
+  T& front() {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    buf_[head_] = T{};  // release resources held by the vacated slot
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --size_;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace alb::sim

@@ -31,9 +31,10 @@ struct FutureState {
 
   void wake_all() {
     // Resume through the event queue: deterministic order, no reentrancy
-    // into whatever coroutine called set_value().
+    // into whatever coroutine called set_value(). Uses the engine's
+    // coroutine fast path — no closure, no allocation.
     for (auto h : waiters) {
-      eng->schedule_after(0, [h] { h.resume(); });
+      eng->schedule_resume_after(0, h);
     }
     waiters.clear();
   }

@@ -14,7 +14,7 @@ void Barrier::release_all() {
   std::vector<std::coroutine_handle<>> to_wake;
   to_wake.swap(waiting_);
   for (auto h : to_wake) {
-    eng_->schedule_after(0, [h] { h.resume(); });
+    eng_->schedule_resume_after(0, h);
   }
 }
 
@@ -27,7 +27,7 @@ void CountdownLatch::count_down(std::size_t n) {
     std::vector<std::coroutine_handle<>> to_wake;
     to_wake.swap(waiting_);
     for (auto h : to_wake) {
-      eng_->schedule_after(0, [h] { h.resume(); });
+      eng_->schedule_resume_after(0, h);
     }
   }
 }
@@ -40,7 +40,7 @@ void Semaphore::release(std::size_t n) {
     auto h = waiting_.front();
     waiting_.erase(waiting_.begin());
     --count_;
-    eng_->schedule_after(0, [h] { h.resume(); });
+    eng_->schedule_resume_after(0, h);
   }
 }
 

@@ -1,10 +1,18 @@
 #pragma once
-// Move-only callable wrapper (std::function requires copyable targets,
-// which rules out lambdas capturing coroutine Tasks or other move-only
-// state). Minimal: void() signature only, which is all the event queue
-// needs.
+// Move-only callable wrapper with small-buffer-optimized storage.
+//
+// std::function requires copyable targets, which rules out lambdas
+// capturing coroutine Tasks or other move-only state — and its typical
+// implementations heap-allocate anything bigger than two pointers. The
+// event queue runs one of these per simulated hop, so the common case
+// must allocate nothing: closures up to kInlineCapacity bytes (with
+// ordinary alignment and a noexcept move) live inside the wrapper;
+// everything else falls back to a heap box. Minimal interface: void()
+// signature only, which is all the event queue needs.
 
+#include <cstddef>
 #include <memory>
+#include <new>
 #include <type_traits>
 #include <utility>
 
@@ -12,34 +20,103 @@ namespace alb::sim {
 
 class UniqueFunction {
  public:
+  /// Inline storage size, sized for the simulator's hot-path closures:
+  /// engine timers, Engine::spawn's task starter, and the network's
+  /// hop-plan continuations (this + Message + route fields, ~80 bytes).
+  /// engine.cpp and net/network.cpp static_assert that theirs fit.
+  static constexpr std::size_t kInlineCapacity = 88;
+
+  /// True when F is stored inline (no heap allocation). Inline storage
+  /// additionally requires a noexcept move (the wrapper's own move is
+  /// noexcept) and ordinary alignment.
+  template <typename F>
+  static constexpr bool stores_inline =
+      sizeof(std::decay_t<F>) <= kInlineCapacity &&
+      alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>> &&
+      std::is_nothrow_destructible_v<std::decay_t<F>>;
+
   UniqueFunction() = default;
 
   template <typename F,
             typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, UniqueFunction>>>
-  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor): function-like
-      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor): function-like
+    using D = std::decay_t<F>;
+    if constexpr (stores_inline<D>) {
+      emplace<D>(std::forward<F>(f));
+    } else {
+      emplace<Boxed<D>>(std::make_unique<D>(std::forward<F>(f)));
+    }
+  }
 
-  UniqueFunction(UniqueFunction&&) noexcept = default;
-  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
   UniqueFunction(const UniqueFunction&) = delete;
   UniqueFunction& operator=(const UniqueFunction&) = delete;
+  ~UniqueFunction() { reset(); }
 
-  explicit operator bool() const { return impl_ != nullptr; }
+  explicit operator bool() const { return ops_ != nullptr; }
 
-  void operator()() { impl_->call(); }
+  void operator()() { ops_->call(buf_); }
 
  private:
-  struct Base {
-    virtual ~Base() = default;
-    virtual void call() = 0;
+  struct Ops {
+    void (*call)(void*);
+    /// Move-constructs *dst from *src and destroys *src (relocation):
+    /// one indirect call per move keeps event-queue maintenance cheap.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
   };
-  template <typename F>
-  struct Impl final : Base {
-    explicit Impl(F f) : fn(std::move(f)) {}
-    void call() override { fn(); }
-    F fn;
+
+  /// Heap fallback for closures too large (or oddly aligned) for the
+  /// buffer; the box itself is a pointer, so it reuses the inline path.
+  template <typename T>
+  struct Boxed {
+    std::unique_ptr<T> p;
+    void operator()() { (*p)(); }
   };
-  std::unique_ptr<Base> impl_;
+
+  template <typename T>
+  struct OpsFor {
+    static void call(void* p) { (*static_cast<T*>(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) T(std::move(*static_cast<T*>(src)));
+      static_cast<T*>(src)->~T();
+    }
+    static void destroy(void* p) noexcept { static_cast<T*>(p)->~T(); }
+    static constexpr Ops ops{&call, &relocate, &destroy};
+  };
+
+  template <typename T, typename... Args>
+  void emplace(Args&&... args) {
+    static_assert(stores_inline<T>);
+    ::new (static_cast<void*>(buf_)) T(std::forward<Args>(args)...);
+    ops_ = &OpsFor<T>::ops;
+  }
+
+  void move_from(UniqueFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
 };
 
 }  // namespace alb::sim

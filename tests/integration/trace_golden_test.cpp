@@ -1,0 +1,107 @@
+// Golden-value determinism tests.
+//
+// The engine's trace hash folds the (time, seq) pair of *every* event a
+// run dispatches, so it pins the complete event schedule — times, counts
+// and ordering — of a whole simulation. These golden values were captured
+// on the pre-refactor seed tree and must never change: any scheduling
+// refactor (event-queue storage, coroutine resume fast path, network hop
+// restructuring) has to be bit-identical to the original semantics to
+// pass. If a change legitimately alters the schedule (a new protocol, a
+// changed cost model), that is a behaviour change, not a refactor — this
+// file must be re-goldened in the same PR with a written justification.
+//
+// Scenario: the 4-cluster ASP + TSP runs of the issue's acceptance
+// criteria (small calibrated workloads; both the original and the
+// wide-area-optimized variants), plus a pure-engine synthetic schedule.
+
+#include <gtest/gtest.h>
+
+#include "apps/asp.hpp"
+#include "apps/tsp.hpp"
+#include "net/presets.hpp"
+#include "sim/engine.hpp"
+
+namespace alb::apps {
+namespace {
+
+AppConfig cfg4(bool optimized) {
+  AppConfig c;
+  c.clusters = 4;
+  c.procs_per_cluster = 2;
+  c.net_cfg = net::das_config(4, 2);
+  c.optimized = optimized;
+  c.seed = 42;
+  return c;
+}
+
+struct Golden {
+  std::uint64_t trace_hash;
+  std::uint64_t events;
+  sim::SimTime elapsed;
+  std::uint64_t checksum;
+};
+
+void expect_golden(const AppResult& r, const Golden& g, const char* what) {
+  EXPECT_EQ(r.trace_hash, g.trace_hash) << what << ": event schedule changed";
+  EXPECT_EQ(r.events, g.events) << what << ": event count changed";
+  EXPECT_EQ(r.elapsed, g.elapsed) << what << ": simulated run time changed";
+  EXPECT_EQ(r.checksum, g.checksum) << what << ": computed answer changed";
+}
+
+TEST(TraceGolden, Asp4ClusterOriginal) {
+  AspParams p;
+  p.nodes = 64;
+  expect_golden(run_asp(cfg4(false), p),
+                Golden{15277438818367893762ull, 4112ull, 349647057,
+                       8836462817929870582ull},
+                "ASP original");
+}
+
+TEST(TraceGolden, Asp4ClusterOptimized) {
+  AspParams p;
+  p.nodes = 64;
+  expect_golden(run_asp(cfg4(true), p),
+                Golden{1183922002230829757ull, 2667ull, 36070760,
+                       8836462817929870582ull},
+                "ASP optimized");
+}
+
+TEST(TraceGolden, Tsp4ClusterOriginal) {
+  TspParams p;
+  p.cities = 10;
+  p.job_depth = 3;
+  expect_golden(run_tsp(cfg4(false), p),
+                Golden{4261069950598347847ull, 731ull, 21621317,
+                       9644552255054130231ull},
+                "TSP original");
+}
+
+TEST(TraceGolden, Tsp4ClusterOptimized) {
+  TspParams p;
+  p.cities = 10;
+  p.job_depth = 3;
+  expect_golden(run_tsp(cfg4(true), p),
+                Golden{15992304728713002334ull, 341ull, 8184521,
+                       9644552255054130231ull},
+                "TSP optimized");
+}
+
+// Pure-engine golden: a synthetic schedule with same-time ties, nested
+// scheduling and run_until boundaries. Isolates engine/event-queue
+// regressions from the full-stack scenarios above.
+TEST(TraceGolden, SyntheticEngineSchedule) {
+  sim::Engine eng;
+  for (int i = 0; i < 200; ++i) {
+    eng.schedule_after(i * 13 % 29, [&eng] {
+      eng.schedule_after(7, [] {});
+    });
+  }
+  eng.run_until(20);
+  eng.schedule_after(0, [] {});
+  eng.run();
+  EXPECT_EQ(eng.trace_hash(), 14051875466400335040ull);
+  EXPECT_EQ(eng.events_processed(), 401ull);
+}
+
+}  // namespace
+}  // namespace alb::apps

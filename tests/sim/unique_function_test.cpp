@@ -1,0 +1,86 @@
+// UniqueFunction unit tests: small-buffer inline storage, the boxed
+// fallback for oversized callables, move-only captures and lifetime.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "sim/unique_function.hpp"
+
+namespace alb::sim {
+namespace {
+
+TEST(UniqueFunction, SmallCallablesStoreInline) {
+  // The whole point of the small buffer: the closures the engine and the
+  // network put on the hot path must not allocate.
+  auto empty = [] {};
+  int x = 0;
+  auto small = [&x] { ++x; };
+  static_assert(UniqueFunction::stores_inline<decltype(empty)>);
+  static_assert(UniqueFunction::stores_inline<decltype(small)>);
+
+  UniqueFunction f(small);
+  f();
+  f();
+  EXPECT_EQ(x, 2);
+}
+
+TEST(UniqueFunction, OversizedCallablesFallBackToHeap) {
+  std::array<long long, 32> big{};  // 256 bytes: larger than the buffer
+  big[31] = 7;
+  long long out = 0;
+  auto fat = [big, &out] { out = big[31]; };
+  static_assert(!UniqueFunction::stores_inline<decltype(fat)>);
+
+  UniqueFunction f(std::move(fat));
+  f();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(UniqueFunction, SupportsMoveOnlyCaptures) {
+  auto p = std::make_unique<int>(41);
+  int seen = 0;
+  UniqueFunction f([p = std::move(p), &seen] { seen = *p + 1; });
+  f();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(UniqueFunction, MoveTransfersTheCallable) {
+  int calls = 0;
+  UniqueFunction a([&calls] { ++calls; });
+  UniqueFunction b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  UniqueFunction c;
+  EXPECT_FALSE(static_cast<bool>(c));
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(UniqueFunction, DestructionReleasesCapturedResources) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    UniqueFunction f([t = std::move(token)] { (void)t; });
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(UniqueFunction, MoveAssignDestroysPreviousTarget) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  UniqueFunction f([t = std::move(token)] { (void)t; });
+  f = UniqueFunction([] {});
+  EXPECT_TRUE(watch.expired());
+  f();
+}
+
+}  // namespace
+}  // namespace alb::sim

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full local CI gate: sanitizer build + release build, both test suites,
+# and a bench smoke run. Usage: tools/check.sh [jobs]
+#
+#   build-asan/     Debug + ASan/UBSan (catches lifetime bugs in the
+#                   zero-allocation hot path, where objects are recycled
+#                   through pools instead of malloc/free)
+#   build-release/  -O3 NDEBUG, the configuration benchmarks run in
+#
+# Both trees are configured out-of-source and are .gitignore'd.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "=== configure + build: Debug + ASan/UBSan ==="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DALB_SANITIZE=ON > /dev/null
+cmake --build build-asan -j "$JOBS"
+
+echo "=== ctest: sanitizer build ==="
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "=== configure + build: Release ==="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build-release -j "$JOBS"
+
+echo "=== ctest: release build ==="
+ctest --test-dir build-release --output-on-failure -j "$JOBS"
+
+echo "=== bench smoke ==="
+./build-release/bench/bench_engine --smoke --json build-release/BENCH_engine.smoke.json
+
+echo "=== all checks passed ==="
