@@ -9,7 +9,11 @@
 //   sor      — original vs split-phase vs chaotic (period 2/3/6)
 //   tsp      — job grain (prefix depth) x queue placement
 //
-//   ./bench_ablation [--study=water|asp|ida|ra|sor|tsp|all]
+//   ./bench_ablation [--study=water|asp|ida|ra|sor|tsp|all] [--jobs=N]
+//
+// Every study submits its whole grid (baseline included) as one
+// campaign, so --jobs shards the runs while the printed tables stay
+// byte-identical to the sequential order.
 
 #include <iostream>
 
@@ -31,16 +35,32 @@ double speedup(sim::SimTime t1, const AppResult& r) {
   return static_cast<double>(t1) / static_cast<double>(r.elapsed);
 }
 
-void water_study(bool csv) {
+/// Wraps a run_<app>(cfg, params) call with pinned params as a SimJob.
+template <typename Params, typename Fn>
+campaign::SimJob param_job(Fn run, Params p, AppConfig cfg) {
+  return {[run, p](const AppConfig& c) { return run(c, p); }, std::move(cfg)};
+}
+
+void water_study(bool csv, int njobs) {
   WaterParams prm = WaterParams::bench_default();
-  sim::SimTime t1 = run_water(make_config(1, 1, false), prm).elapsed;
-  util::Table t({"cache", "reducer", "speedup 60/4", "inter RPC", "inter KB"});
+  std::vector<campaign::SimJob> jobs;
+  jobs.push_back(param_job(run_water, prm, make_config(1, 1, false)));
   for (bool cache : {false, true}) {
     for (bool reducer : {false, true}) {
       WaterParams p = prm;
       p.use_cache = cache;
       p.use_reducer = reducer;
-      AppResult r = run_water(make_config(4, 15, false), p);
+      jobs.push_back(param_job(run_water, p, make_config(4, 15, false)));
+    }
+  }
+  std::vector<AppResult> results = campaign::run_sim_jobs(jobs, {njobs});
+
+  sim::SimTime t1 = results[0].elapsed;
+  util::Table t({"cache", "reducer", "speedup 60/4", "inter RPC", "inter KB"});
+  std::size_t i = 1;
+  for (bool cache : {false, true}) {
+    for (bool reducer : {false, true}) {
+      const AppResult& r = results[i++];
       t.row()
           .add(cache ? "on" : "off")
           .add(reducer ? "on" : "off")
@@ -55,20 +75,31 @@ void water_study(bool csv) {
   std::cout << "\n";
 }
 
-void asp_study(bool csv) {
+void asp_study(bool csv, int njobs) {
   AspParams prm = AspParams::bench_default();
-  sim::SimTime t1 = run_asp(make_config(1, 1, false), prm).elapsed;
-  util::Table t({"sequencer", "speedup 60/4", "inter ctrl+bcast msgs"});
   struct Case {
     const char* name;
     orca::SequencerKind kind;
   };
-  for (const Case& c : {Case{"centralized", orca::SequencerKind::Centralized},
-                        Case{"rotating (paper default)", orca::SequencerKind::Rotating},
-                        Case{"migrating (paper opt)", orca::SequencerKind::Migrating}}) {
+  const std::vector<Case> cases{
+      {"centralized", orca::SequencerKind::Centralized},
+      {"rotating (paper default)", orca::SequencerKind::Rotating},
+      {"migrating (paper opt)", orca::SequencerKind::Migrating}};
+
+  std::vector<campaign::SimJob> jobs;
+  jobs.push_back(param_job(run_asp, prm, make_config(1, 1, false)));
+  for (const Case& c : cases) {
     AspParams p = prm;
     p.sequencer = c.kind;
-    AppResult r = run_asp(make_config(4, 15, false), p);
+    jobs.push_back(param_job(run_asp, p, make_config(4, 15, false)));
+  }
+  std::vector<AppResult> results = campaign::run_sim_jobs(jobs, {njobs});
+
+  sim::SimTime t1 = results[0].elapsed;
+  util::Table t({"sequencer", "speedup 60/4", "inter ctrl+bcast msgs"});
+  std::size_t i = 1;
+  for (const Case& c : cases) {
+    const AppResult& r = results[i++];
     t.row()
         .add(c.name)
         .add(speedup(t1, r), 1)
@@ -80,17 +111,27 @@ void asp_study(bool csv) {
   std::cout << "\n";
 }
 
-void ida_study(bool csv) {
+void ida_study(bool csv, int njobs) {
   IdaParams prm = IdaParams::bench_default();
-  sim::SimTime t1 = run_ida(make_config(1, 1, false), prm).elapsed;
-  util::Table t({"cluster-first", "remember-empty", "speedup 60/4",
-                 "remote steal attempts"});
+  std::vector<campaign::SimJob> jobs;
+  jobs.push_back(param_job(run_ida, prm, make_config(1, 1, false)));
   for (bool cf : {false, true}) {
     for (bool re : {false, true}) {
       IdaParams p = prm;
       p.cluster_first = cf;
       p.remember_empty = re;
-      AppResult r = run_ida(make_config(4, 15, false), p);
+      jobs.push_back(param_job(run_ida, p, make_config(4, 15, false)));
+    }
+  }
+  std::vector<AppResult> results = campaign::run_sim_jobs(jobs, {njobs});
+
+  sim::SimTime t1 = results[0].elapsed;
+  util::Table t({"cluster-first", "remember-empty", "speedup 60/4",
+                 "remote steal attempts"});
+  std::size_t i = 1;
+  for (bool cf : {false, true}) {
+    for (bool re : {false, true}) {
+      AppResult& r = results[i++];
       t.row()
           .add(cf ? "on" : "off")
           .add(re ? "on" : "off")
@@ -104,17 +145,26 @@ void ida_study(bool csv) {
   std::cout << "\n";
 }
 
-void ra_study(bool csv) {
+void ra_study(bool csv, int njobs) {
   RaParams prm = RaParams::bench_default();
-  sim::SimTime t1 = run_ra(make_config(1, 1, false), prm).elapsed;
-  util::Table t({"node batch", "cluster batch", "speedup 60/4", "inter data msgs"});
+  std::vector<campaign::SimJob> jobs;
+  jobs.push_back(param_job(run_ra, prm, make_config(1, 1, false)));
   for (int nb : {1, 4, 16}) {
     for (int cb : {0, 64, 256, 1024}) {
       RaParams p = prm;
       p.node_batch = nb;
       p.cluster_batch = cb == 0 ? 1 : cb;
-      AppConfig c = make_config(4, 15, cb != 0);
-      AppResult r = run_ra(c, p);
+      jobs.push_back(param_job(run_ra, p, make_config(4, 15, cb != 0)));
+    }
+  }
+  std::vector<AppResult> results = campaign::run_sim_jobs(jobs, {njobs});
+
+  sim::SimTime t1 = results[0].elapsed;
+  util::Table t({"node batch", "cluster batch", "speedup 60/4", "inter data msgs"});
+  std::size_t i = 1;
+  for (int nb : {1, 4, 16}) {
+    for (int cb : {0, 64, 256, 1024}) {
+      const AppResult& r = results[i++];
       t.row()
           .add(nb)
           .add(cb == 0 ? std::string("off") : std::to_string(cb))
@@ -128,24 +178,35 @@ void ra_study(bool csv) {
   std::cout << "\n";
 }
 
-void sor_study(bool csv) {
+void sor_study(bool csv, int njobs) {
   SorParams prm = SorParams::bench_default();
-  sim::SimTime t1 = run_sor(make_config(1, 1, false), prm).elapsed;
-  util::Table t({"variant", "speedup 60/4", "inter data msgs"});
   struct Case {
     const char* name;
     SorVariant v;
     int period;
   };
-  for (const Case& c : {Case{"original (sync exchange)", SorVariant::kOriginal, 3},
-                        Case{"split-phase overlap", SorVariant::kSplitPhase, 3},
-                        Case{"chaotic, drop 1/2", SorVariant::kChaotic, 2},
-                        Case{"chaotic, drop 2/3 (paper)", SorVariant::kChaotic, 3},
-                        Case{"chaotic, drop 5/6", SorVariant::kChaotic, 6}}) {
+  const std::vector<Case> cases{
+      {"original (sync exchange)", SorVariant::kOriginal, 3},
+      {"split-phase overlap", SorVariant::kSplitPhase, 3},
+      {"chaotic, drop 1/2", SorVariant::kChaotic, 2},
+      {"chaotic, drop 2/3 (paper)", SorVariant::kChaotic, 3},
+      {"chaotic, drop 5/6", SorVariant::kChaotic, 6}};
+
+  std::vector<campaign::SimJob> jobs;
+  jobs.push_back(param_job(run_sor, prm, make_config(1, 1, false)));
+  for (const Case& c : cases) {
     SorParams p = prm;
     p.variant = c.v;
     p.chaotic_period = c.period;
-    AppResult r = run_sor(make_config(4, 15, false), p);
+    jobs.push_back(param_job(run_sor, p, make_config(4, 15, false)));
+  }
+  std::vector<AppResult> results = campaign::run_sim_jobs(jobs, {njobs});
+
+  sim::SimTime t1 = results[0].elapsed;
+  util::Table t({"variant", "speedup 60/4", "inter data msgs"});
+  std::size_t i = 1;
+  for (const Case& c : cases) {
+    const AppResult& r = results[i++];
     t.row()
         .add(c.name)
         .add(speedup(t1, r), 1)
@@ -159,14 +220,26 @@ void sor_study(bool csv) {
                "iterations at equal tolerance; see EXPERIMENTS.md.\n\n";
 }
 
-void tsp_study(bool csv) {
-  util::Table t({"job depth", "#jobs grain", "queue", "speedup 60/4"});
+void tsp_study(bool csv, int njobs) {
+  // Per depth: its own single-CPU baseline plus the central/per-cluster
+  // pair — three independent triples, one campaign.
+  std::vector<campaign::SimJob> jobs;
   for (int depth : {3, 4, 5}) {
     TspParams p = TspParams::bench_default();
     p.job_depth = depth;
-    sim::SimTime t1 = run_tsp(make_config(1, 1, false), p).elapsed;
+    jobs.push_back(param_job(run_tsp, p, make_config(1, 1, false)));
     for (bool opt : {false, true}) {
-      AppResult r = run_tsp(make_config(4, 15, opt), p);
+      jobs.push_back(param_job(run_tsp, p, make_config(4, 15, opt)));
+    }
+  }
+  std::vector<AppResult> results = campaign::run_sim_jobs(jobs, {njobs});
+
+  util::Table t({"job depth", "#jobs grain", "queue", "speedup 60/4"});
+  std::size_t i = 0;
+  for (int depth : {3, 4, 5}) {
+    sim::SimTime t1 = results[i++].elapsed;
+    for (bool opt : {false, true}) {
+      const AppResult& r = results[i++];
       t.row()
           .add(depth)
           .add(depth == 3 ? "132 coarse" : depth == 4 ? "1320 medium" : "11880 fine")
@@ -186,15 +259,17 @@ int main(int argc, char** argv) {
   util::Options opts;
   opts.define("study", "all", "water|asp|ida|ra|sor|tsp|all");
   opts.define_flag("csv", "emit CSV");
+  define_jobs_option(opts);
   if (!opts.parse(argc, argv)) return 0;
   const std::string study = opts.get("study");
   const bool csv = opts.has_flag("csv");
+  const int njobs = static_cast<int>(opts.get_int("jobs"));
   std::cout << "=== Ablations on 4 clusters x 15 CPUs (speedup vs 1 CPU) ===\n\n";
-  if (study == "water" || study == "all") water_study(csv);
-  if (study == "asp" || study == "all") asp_study(csv);
-  if (study == "ida" || study == "all") ida_study(csv);
-  if (study == "ra" || study == "all") ra_study(csv);
-  if (study == "sor" || study == "all") sor_study(csv);
-  if (study == "tsp" || study == "all") tsp_study(csv);
+  if (study == "water" || study == "all") water_study(csv, njobs);
+  if (study == "asp" || study == "all") asp_study(csv, njobs);
+  if (study == "ida" || study == "all") ida_study(csv, njobs);
+  if (study == "ra" || study == "all") ra_study(csv, njobs);
+  if (study == "sor" || study == "all") sor_study(csv, njobs);
+  if (study == "tsp" || study == "all") tsp_study(csv, njobs);
   return 0;
 }

@@ -7,14 +7,21 @@
 // rows/series as the corresponding paper table or figure; `--csv`
 // switches to machine-readable output.
 
+// Sweeps are executed through the campaign engine: each harness builds
+// its whole run list up front and fans it out over `--jobs N` workers
+// (0 = hardware concurrency); results come back in submission order, so
+// any `--jobs` value prints byte-identical tables.
+
 #include <functional>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/app.hpp"
+#include "campaign/sim_jobs.hpp"
 #include "net/presets.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -55,30 +62,65 @@ struct SpeedupCurves {
   std::vector<SpeedupPoint> points;
 };
 
-/// Runs the full figure sweep for one program variant.
-inline SpeedupCurves run_speedup_sweep(const Runner& run, bool optimized,
-                                       bool quick = false) {
-  SpeedupCurves out;
-  AppResult base = run(make_config(1, 1, optimized));
-  out.t1 = base.elapsed;
+/// The (clusters, cpus) grid of one figure sweep, in the paper's order.
+/// The leading (1, 1) entry is the one-processor baseline every speedup
+/// is measured against.
+inline std::vector<std::pair<int, int>> plan_speedup_sweep(bool quick) {
+  std::vector<std::pair<int, int>> pts;
   for (int clusters : {1, 2, 4}) {
     for (int cpus : cpu_points()) {
       if (cpus % clusters != 0) continue;
       int per = cpus / clusters;
       if (per < 1 || (clusters > 1 && per < 2)) continue;
       if (clusters == 1 && cpus == 1) {
-        out.points.push_back({1, 1, 1.0, base.elapsed});
+        pts.emplace_back(1, 1);
         continue;
       }
       if (quick && cpus != 60 && !(clusters == 1 && cpus == 16)) continue;
-      AppResult r = run(make_config(clusters, per, optimized));
-      double s = base.elapsed > 0
-                     ? static_cast<double>(base.elapsed) / static_cast<double>(r.elapsed)
-                     : 0.0;
-      out.points.push_back({clusters, cpus, s, r.elapsed});
+      pts.emplace_back(clusters, cpus);
     }
   }
+  return pts;
+}
+
+/// Builds the campaign job list for one program variant's figure sweep
+/// (one job per plan_speedup_sweep point, same order).
+inline std::vector<campaign::SimJob> sweep_jobs(const Runner& run, bool optimized,
+                                                bool quick, std::uint64_t seed) {
+  std::vector<campaign::SimJob> jobs;
+  for (auto [clusters, cpus] : plan_speedup_sweep(quick)) {
+    jobs.push_back({run, make_config(clusters, cpus / clusters, optimized, seed)});
+  }
+  return jobs;
+}
+
+/// Folds the campaign results (in sweep_jobs order) back into the
+/// figure's speedup curves.
+inline SpeedupCurves assemble_speedup_curves(bool quick,
+                                             const std::vector<AppResult>& results) {
+  const auto pts = plan_speedup_sweep(quick);
+  SpeedupCurves out;
+  out.t1 = results.empty() ? 0 : results.front().elapsed;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const AppResult& r = results[i];
+    double s = 1.0;
+    if (i > 0) {
+      s = out.t1 > 0
+              ? static_cast<double>(out.t1) / static_cast<double>(r.elapsed)
+              : 0.0;
+    }
+    out.points.push_back({pts[i].first, pts[i].second, s, r.elapsed});
+  }
   return out;
+}
+
+/// Runs the full figure sweep for one program variant on `jobs` workers.
+inline SpeedupCurves run_speedup_sweep(const Runner& run, bool optimized,
+                                       bool quick = false, std::uint64_t seed = 42,
+                                       int jobs = 1) {
+  std::vector<AppResult> results =
+      campaign::run_sim_jobs(sweep_jobs(run, optimized, quick, seed), {jobs});
+  return assemble_speedup_curves(quick, results);
 }
 
 /// Prints a pair of figure sweeps (original & optimized) in the layout
@@ -121,17 +163,27 @@ struct FigureOptions {
   bool csv = false;
   bool quick = false;
   std::uint64_t seed = 42;
+  int jobs = 0;
 
   bool parse(int argc, char** argv) {
     opts.define_flag("csv", "emit CSV instead of aligned tables");
     opts.define_flag("quick", "run a reduced sweep (60-CPU points only)");
     opts.define("seed", "42", "workload seed");
+    opts.define("jobs", "0",
+                "campaign worker threads (0 = hardware concurrency, 1 = sequential)");
     if (!opts.parse(argc, argv)) return false;
     csv = opts.has_flag("csv");
     quick = opts.has_flag("quick");
     seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+    jobs = static_cast<int>(opts.get_int("jobs"));
     return true;
   }
 };
+
+/// Adds the `--jobs` option to a non-FigureOptions bench.
+inline void define_jobs_option(util::Options& opts) {
+  opts.define("jobs", "0",
+              "campaign worker threads (0 = hardware concurrency, 1 = sequential)");
+}
 
 }  // namespace alb::bench

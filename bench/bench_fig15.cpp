@@ -17,17 +17,29 @@ int main(int argc, char** argv) {
   FigureOptions fo;
   if (!fo.parse(argc, argv)) return 0;
 
+  // Five runs per app (baseline + four bars), one campaign for the suite.
+  std::vector<campaign::SimJob> jobs;
+  for (const auto& entry : apps::registry()) {
+    jobs.push_back({entry.run, make_config(1, 1, false, fo.seed)});
+    jobs.push_back({entry.run, make_config(1, 15, false, fo.seed)});
+    jobs.push_back({entry.run, make_config(4, 15, false, fo.seed)});
+    jobs.push_back({entry.run, make_config(4, 15, true, fo.seed)});
+    jobs.push_back({entry.run, make_config(1, 60, true, fo.seed)});
+  }
+  std::vector<AppResult> results = campaign::run_sim_jobs(jobs, {fo.jobs});
+
   util::Table t({"app", "lower (15/1)", "orig (60/4)", "opt (60/4)", "upper (60/1)",
                  "opt gain %"});
+  std::size_t i = 0;
   for (const auto& entry : apps::registry()) {
-    AppResult base = entry.run(make_config(1, 1, false));
+    const AppResult& base = results[i++];
     auto speedup = [&](const AppResult& r) {
       return static_cast<double>(base.elapsed) / static_cast<double>(r.elapsed);
     };
-    double lower = speedup(entry.run(make_config(1, 15, false)));
-    double orig = speedup(entry.run(make_config(4, 15, false)));
-    double opt = speedup(entry.run(make_config(4, 15, true)));
-    double upper = speedup(entry.run(make_config(1, 60, true)));
+    double lower = speedup(results[i++]);
+    double orig = speedup(results[i++]);
+    double opt = speedup(results[i++]);
+    double upper = speedup(results[i++]);
     t.row()
         .add(entry.name)
         .add(lower, 1)

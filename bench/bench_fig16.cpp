@@ -13,18 +13,30 @@ int main(int argc, char** argv) {
   FigureOptions fo;
   if (!fo.parse(argc, argv)) return 0;
 
-  util::Table t({"app", "orig 16/1", "orig 32/2", "opt 32/2", "opt 32/1"});
+  // Five runs per app (baseline + four bars), one campaign for the suite.
+  std::vector<campaign::SimJob> jobs;
   for (const auto& entry : apps::registry()) {
-    AppResult base = entry.run(make_config(1, 1, false));
+    jobs.push_back({entry.run, make_config(1, 1, false, fo.seed)});
+    jobs.push_back({entry.run, make_config(1, 16, false, fo.seed)});
+    jobs.push_back({entry.run, make_config(2, 16, false, fo.seed)});
+    jobs.push_back({entry.run, make_config(2, 16, true, fo.seed)});
+    jobs.push_back({entry.run, make_config(1, 32, true, fo.seed)});
+  }
+  std::vector<AppResult> results = campaign::run_sim_jobs(jobs, {fo.jobs});
+
+  util::Table t({"app", "orig 16/1", "orig 32/2", "opt 32/2", "opt 32/1"});
+  std::size_t i = 0;
+  for (const auto& entry : apps::registry()) {
+    const AppResult& base = results[i++];
     auto speedup = [&](const AppResult& r) {
       return static_cast<double>(base.elapsed) / static_cast<double>(r.elapsed);
     };
     t.row()
         .add(entry.name)
-        .add(speedup(entry.run(make_config(1, 16, false))), 1)
-        .add(speedup(entry.run(make_config(2, 16, false))), 1)
-        .add(speedup(entry.run(make_config(2, 16, true))), 1)
-        .add(speedup(entry.run(make_config(1, 32, true))), 1);
+        .add(speedup(results[i++]), 1)
+        .add(speedup(results[i++]), 1)
+        .add(speedup(results[i++]), 1)
+        .add(speedup(results[i++]), 1);
   }
   std::cout << "=== Figure 16: two-cluster performance improvements (speedups) ===\n";
   if (fo.csv) t.print_csv(std::cout);

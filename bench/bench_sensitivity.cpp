@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   util::Options opts;
   opts.define_flag("csv", "emit CSV");
   opts.define("app", "ATPG", "application to sweep (or 'all')");
+  define_jobs_option(opts);
   if (!opts.parse(argc, argv)) return 0;
+  const int njobs = static_cast<int>(opts.get_int("jobs"));
 
   struct WanPoint {
     const char* name;
@@ -27,19 +29,34 @@ int main(int argc, char** argv) {
       {"very slow", 30.0, 1.0},
   };
 
-  util::Table t({"app", "WAN", "rtt ms", "Mbit/s", "orig 60/4", "opt 60/4"});
+  // Per selected app: one baseline + an (orig, opt) pair per WAN point,
+  // submitted as a single campaign.
+  std::vector<campaign::SimJob> jobs;
+  std::vector<const apps::AppEntry*> selected;
   for (const auto& entry : apps::registry()) {
     if (opts.get("app") != "all" && entry.name != opts.get("app")) continue;
-    AppResult base = entry.run(make_config(1, 1, false));
+    selected.push_back(&entry);
+    jobs.push_back({entry.run, make_config(1, 1, false)});
     for (const auto& wp : points) {
       AppConfig cfg = make_config(4, 15, false);
       cfg.net_cfg = net::custom_wan_config(4, 15, sim::milliseconds(wp.rtt_ms),
                                            wp.mbit * 1e6);
-      AppResult orig = entry.run(cfg);
+      jobs.push_back({entry.run, cfg});
       cfg.optimized = true;
-      AppResult opt = entry.run(cfg);
+      jobs.push_back({entry.run, cfg});
+    }
+  }
+  std::vector<AppResult> results = campaign::run_sim_jobs(jobs, {njobs});
+
+  util::Table t({"app", "WAN", "rtt ms", "Mbit/s", "orig 60/4", "opt 60/4"});
+  std::size_t i = 0;
+  for (const apps::AppEntry* entry : selected) {
+    const AppResult& base = results[i++];
+    for (const auto& wp : points) {
+      const AppResult& orig = results[i++];
+      const AppResult& opt = results[i++];
       t.row()
-          .add(entry.name)
+          .add(entry->name)
           .add(wp.name)
           .add(wp.rtt_ms, 1)
           .add(wp.mbit, 2)

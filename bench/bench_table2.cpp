@@ -16,8 +16,10 @@ int main(int argc, char** argv) {
   util::Options opts;
   opts.define_flag("csv", "emit CSV");
   opts.define("cpus", "60", "processors on the single cluster");
+  define_jobs_option(opts);
   if (!opts.parse(argc, argv)) return 0;
   const int cpus = static_cast<int>(opts.get_int("cpus"));
+  const int njobs = static_cast<int>(opts.get_int("jobs"));
 
   util::Table t({"program", "#RPC/s", "RPC kbytes/s", "#bcast/s", "bcast kbytes/s",
                  "speedup", "paper speedup(64P)"});
@@ -25,9 +27,17 @@ int main(int argc, char** argv) {
       {"Water", "56.5"}, {"TSP", "62.9"}, {"ASP", "59.3"}, {"ATPG", "50.3"},
       {"IDA*", "62.1"},  {"RA", "25.9"},  {"ACP", "37.0"}, {"SOR", "46.3"}};
 
+  std::vector<campaign::SimJob> jobs;
   for (const auto& entry : apps::registry()) {
-    AppResult base = entry.run(make_config(1, 1, false));
-    AppResult r = entry.run(make_config(1, cpus, false));
+    jobs.push_back({entry.run, make_config(1, 1, false)});
+    jobs.push_back({entry.run, make_config(1, cpus, false)});
+  }
+  std::vector<AppResult> results = campaign::run_sim_jobs(jobs, {njobs});
+
+  std::size_t idx = 0;
+  for (const auto& entry : apps::registry()) {
+    const AppResult& base = results[idx++];
+    const AppResult& r = results[idx++];
     const double secs = sim::to_seconds(r.elapsed);
     const auto& s = r.traffic;
     const double rpcs = static_cast<double>(s.intra_rpc_count() + s.inter_rpc_count() +

@@ -35,11 +35,19 @@ int main(int argc, char** argv) {
   FigureOptions fo;
   if (!fo.parse(argc, argv)) return 0;
 
+  std::vector<campaign::SimJob> jobs;
+  for (const auto& entry : apps::registry()) {
+    jobs.push_back({entry.run, make_config(4, 15, false, fo.seed)});
+    jobs.push_back({entry.run, make_config(4, 15, true, fo.seed)});
+  }
+  std::vector<AppResult> results = campaign::run_sim_jobs(jobs, {fo.jobs});
+
   util::Table before({"app", "#RPC", "RPC kbyte", "#bcast", "bcast kbyte"});
   util::Table after({"app", "#RPC", "RPC kbyte", "#bcast", "bcast kbyte"});
+  std::size_t i = 0;
   for (const auto& entry : apps::registry()) {
-    Row o = traffic_row(entry.run(make_config(4, 15, false)));
-    Row p = traffic_row(entry.run(make_config(4, 15, true)));
+    Row o = traffic_row(results[i++]);
+    Row p = traffic_row(results[i++]);
     before.row().add(entry.name).add(o.rpc_count).add(o.rpc_kb).add(o.bc_count).add(o.bc_kb);
     after.row().add(entry.name).add(p.rpc_count).add(p.rpc_kb).add(p.bc_count).add(p.bc_kb);
   }

@@ -1,0 +1,81 @@
+#include "campaign/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+namespace alb::campaign {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace detail {
+
+void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
+                 const Options& opts, RunStats* stats) {
+  const int workers = resolve_jobs(opts.jobs);
+  std::vector<double> job_seconds(n, 0.0);
+  std::vector<std::exception_ptr> failures(n);
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> cancelled{false};
+  std::atomic<std::size_t> jobs_run{0};
+  const auto t0 = Clock::now();
+
+  // Claims and runs jobs until the list is exhausted or a failure
+  // cancels the campaign. Runs on the caller when workers == 1.
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || cancelled.load(std::memory_order_acquire)) return;
+      const auto j0 = Clock::now();
+      try {
+        body(i);
+      } catch (...) {
+        failures[i] = std::current_exception();
+        cancelled.store(true, std::memory_order_release);
+      }
+      job_seconds[i] = seconds_since(j0);
+      jobs_run.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  if (workers <= 1 || n <= 1) {
+    drain();
+  } else {
+    const std::size_t pool = std::min<std::size_t>(static_cast<std::size_t>(workers), n);
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (std::size_t w = 0; w < pool; ++w) threads.emplace_back(drain);
+    for (std::thread& t : threads) t.join();
+  }
+
+  if (stats) {
+    stats->workers = (n <= 1) ? 1 : std::min<int>(workers, static_cast<int>(n ? n : 1));
+    stats->jobs_total = n;
+    stats->jobs_run = jobs_run.load(std::memory_order_relaxed);
+    stats->wall_seconds = seconds_since(t0);
+    stats->job_seconds = std::move(job_seconds);
+  }
+
+  // Surface the failure the sequential reference path would have hit
+  // first: the lowest submission index that threw.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (failures[i]) std::rethrow_exception(failures[i]);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace alb::campaign

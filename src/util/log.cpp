@@ -1,12 +1,22 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace alb::util {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
-std::string* g_capture = nullptr;
+// The level is process-global (benches set it once before spawning
+// campaign workers) but read from every thread, so it is atomic. The
+// capture buffer is thread-local: each campaign worker — and each test —
+// captures only the lines its own thread emits, so concurrent
+// simulations can never interleave into one buffer.
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+thread_local std::string* t_capture = nullptr;
+// Uncaptured output from all threads shares stderr; serialize the writes
+// so concurrent lines cannot interleave mid-line.
+std::mutex g_stderr_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,19 +31,24 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
-void set_log_capture(std::string* capture) { g_capture = capture; }
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+void set_log_capture(std::string* capture) { t_capture = capture; }
 
 void log_line(LogLevel level, std::int64_t sim_now_ns, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
   std::ostringstream os;
   os << '[' << level_name(level);
   if (sim_now_ns >= 0) os << " t=" << sim_now_ns << "ns";
   os << "] " << message << '\n';
-  if (g_capture) {
-    *g_capture += os.str();
+  if (t_capture) {
+    *t_capture += os.str();
   } else {
+    std::lock_guard<std::mutex> lock(g_stderr_mutex);
     std::cerr << os.str();
   }
 }

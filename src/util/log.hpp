@@ -1,9 +1,12 @@
 #pragma once
 // Levelled logging with simulated-time stamps.
 //
-// The simulator is single-threaded, so the logger is deliberately simple:
-// a process-global level and sink. Benches run with Warn by default; tests
-// can raise verbosity to trace protocol decisions.
+// Each simulation is single-threaded, but the campaign engine runs many
+// simulations on concurrent worker threads, so the logger is thread-safe:
+// the level is a process-global atomic, the capture buffer is
+// thread-local (a worker captures only its own lines), and uncaptured
+// output is serialized onto stderr line-by-line. Benches run with Warn by
+// default; tests can raise verbosity to trace protocol decisions.
 
 #include <cstdint>
 #include <sstream>
@@ -16,7 +19,9 @@ enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4,
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-/// Installs a capture buffer for tests; pass nullptr to restore stderr.
+/// Installs a capture buffer for the *calling thread*; pass nullptr to
+/// restore stderr. Thread-local, so concurrent campaign workers (and
+/// tests) can capture independently without interleaving.
 void set_log_capture(std::string* capture);
 
 /// Emits one line: "[level t=<ns>ns] message". `sim_now_ns` < 0 omits time.

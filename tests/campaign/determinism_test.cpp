@@ -1,0 +1,116 @@
+// Cross-thread determinism: the campaign engine's contract is that a
+// simulation run on a worker thread — concurrently with other
+// simulations — produces exactly the result it produces alone on the
+// main thread. Each simulation owns its engine/network/runtime stack, so
+// the only way this can break is hidden mutable process-global state;
+// these tests are the tripwire (and the suite tools/check.sh runs under
+// TSan to catch the data race itself, not just its symptom).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "apps/asp.hpp"
+#include "apps/sor.hpp"
+#include "campaign/sim_jobs.hpp"
+
+namespace alb {
+namespace {
+
+using apps::AppConfig;
+using apps::AppResult;
+
+AppConfig small_config(int clusters, int per_cluster) {
+  AppConfig c;
+  c.clusters = clusters;
+  c.procs_per_cluster = per_cluster;
+  c.net_cfg = net::das_config(clusters, per_cluster);
+  c.optimized = false;
+  c.seed = 42;
+  return c;
+}
+
+apps::SorParams small_sor() {
+  apps::SorParams p;
+  p.rows = 48;
+  p.cols = 24;
+  p.fixed_iterations = 6;
+  return p;
+}
+
+apps::AspParams small_asp() {
+  apps::AspParams p;
+  p.nodes = 48;
+  return p;
+}
+
+void expect_identical(const AppResult& a, const AppResult& b, const char* what) {
+  EXPECT_EQ(a.elapsed, b.elapsed) << what;
+  EXPECT_EQ(a.checksum, b.checksum) << what;
+  EXPECT_EQ(a.trace_hash, b.trace_hash) << what;
+  EXPECT_EQ(a.events, b.events) << what;
+}
+
+TEST(CampaignDeterminismTest, ConcurrentRepeatsMatchSequentialRun) {
+  // The same AppConfig run 6 times concurrently must give 6 results
+  // identical to the one computed sequentially on this thread.
+  const AppConfig cfg = small_config(2, 2);
+  const apps::SorParams prm = small_sor();
+  const AppResult reference = apps::run_sor(cfg, prm);
+
+  std::vector<campaign::SimJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back({[prm](const AppConfig& c) { return apps::run_sor(c, prm); }, cfg});
+  }
+  std::vector<AppResult> parallel = campaign::run_sim_jobs(jobs, {4});
+  ASSERT_EQ(parallel.size(), 6u);
+  for (const AppResult& r : parallel) {
+    expect_identical(reference, r, "concurrent SOR vs sequential SOR");
+  }
+  EXPECT_GT(reference.trace_hash, 0u);
+}
+
+TEST(CampaignDeterminismTest, MixedAppCampaignMatchesJobsOne) {
+  // A heterogeneous job list (two apps, several topologies) run on the
+  // pool must be bit-identical, job for job, to the --jobs 1 reference
+  // path over the same list.
+  const apps::SorParams sor = small_sor();
+  const apps::AspParams asp = small_asp();
+  std::vector<campaign::SimJob> jobs;
+  for (int clusters : {1, 2}) {
+    for (int per : {1, 2}) {
+      jobs.push_back({[sor](const AppConfig& c) { return apps::run_sor(c, sor); },
+                      small_config(clusters, per)});
+      jobs.push_back({[asp](const AppConfig& c) { return apps::run_asp(c, asp); },
+                      small_config(clusters, per)});
+    }
+  }
+  std::vector<AppResult> sequential = campaign::run_sim_jobs(jobs, {1});
+  std::vector<AppResult> parallel = campaign::run_sim_jobs(jobs, {4});
+  ASSERT_EQ(sequential.size(), jobs.size());
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_identical(sequential[i], parallel[i], "mixed campaign job");
+  }
+}
+
+TEST(CampaignDeterminismTest, RepeatedParallelCampaignsAreStable) {
+  // Two parallel executions of the same campaign agree with each other
+  // (no run-to-run scheduling sensitivity leaks into results).
+  const apps::AspParams asp = small_asp();
+  std::vector<campaign::SimJob> jobs;
+  for (int per : {1, 2, 4}) {
+    jobs.push_back({[asp](const AppConfig& c) { return apps::run_asp(c, asp); },
+                    small_config(2, per)});
+  }
+  std::vector<AppResult> first = campaign::run_sim_jobs(jobs, {3});
+  std::vector<AppResult> second = campaign::run_sim_jobs(jobs, {3});
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    expect_identical(first[i], second[i], "repeated parallel campaign");
+  }
+}
+
+}  // namespace
+}  // namespace alb

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Full local CI gate: sanitizer build + release build, both test suites,
-# and a bench smoke run. Usage: tools/check.sh [jobs]
+# a TSan pass over the campaign engine, a parallel-vs-sequential CSV
+# determinism diff, and a bench smoke run. Usage: tools/check.sh [jobs]
 #
 #   build-asan/     Debug + ASan/UBSan (catches lifetime bugs in the
 #                   zero-allocation hot path, where objects are recycled
 #                   through pools instead of malloc/free)
 #   build-release/  -O3 NDEBUG, the configuration benchmarks run in
+#   build-tsan/     ALB_SANITIZE=thread; runs test_campaign, the suite
+#                   that exercises the worker pool and the logger from
+#                   concurrent threads
 #
-# Both trees are configured out-of-source and are .gitignore'd.
+# All trees are configured out-of-source and are .gitignore'd.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,7 +34,25 @@ cmake --build build-release -j "$JOBS"
 echo "=== ctest: release build ==="
 ctest --test-dir build-release --output-on-failure -j "$JOBS"
 
+echo "=== configure + build: TSan (campaign engine) ==="
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DALB_SANITIZE=thread > /dev/null
+cmake --build build-tsan --target test_campaign -j "$JOBS"
+
+echo "=== TSan: campaign tests ==="
+./build-tsan/tests/test_campaign
+
+echo "=== campaign determinism smoke: --jobs 4 CSV must equal --jobs 1 ==="
+for fig in bench_fig_water bench_fig15; do
+  ./build-release/bench/"$fig" --quick --csv --jobs 1 > "build-release/$fig.j1.csv"
+  ./build-release/bench/"$fig" --quick --csv --jobs 4 > "build-release/$fig.j4.csv"
+  diff "build-release/$fig.j1.csv" "build-release/$fig.j4.csv" \
+    || { echo "$fig: parallel CSV differs from sequential"; exit 1; }
+done
+
 echo "=== bench smoke ==="
 ./build-release/bench/bench_engine --smoke --json build-release/BENCH_engine.smoke.json
+./build-release/bench/bench_campaign --quick --json build-release/BENCH_campaign.smoke.json
 
 echo "=== all checks passed ==="
