@@ -2,6 +2,10 @@
 // configurations, printing simulated time, wall time and key traffic
 // counters. Used to pick bench-default problem sizes and cost constants
 // (see EXPERIMENTS.md) and handy when porting to new WAN parameters.
+//
+// All counters come from the per-run metrics registry snapshot
+// (AppResult::stats, see src/trace/metrics.hpp); the `net/wan.table.*`
+// names are the same aggregates bench_table4_5 reports.
 
 #include <chrono>
 #include <iostream>
@@ -34,9 +38,9 @@ int main(int argc, char** argv) {
           .add(clusters * per)
           .add(sim::to_seconds(r.elapsed), 3)
           .add(std::chrono::duration<double, std::milli>(wall1 - wall0).count(), 0)
-          .add(static_cast<long long>(r.traffic.inter_rpc_count()))
-          .add(static_cast<long long>(r.traffic.inter_rpc_bytes() / 1024))
-          .add(static_cast<long long>(r.traffic.inter_bcast_count()))
+          .add(static_cast<long long>(r.stats.value("net/wan.table.rpc.msgs")))
+          .add(static_cast<long long>(r.stats.value("net/wan.table.rpc.bytes") / 1024))
+          .add(static_cast<long long>(r.stats.value("net/wan.table.bcast.msgs")))
           .add(r.elapsed ? static_cast<double>(t1) / r.elapsed : 0.0, 1);
     }
   }

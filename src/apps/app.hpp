@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "net/presets.hpp"
 #include "orca/runtime.hpp"
 #include "orca/shared_object.hpp"
+#include "trace/trace.hpp"
 
 namespace alb::apps {
 
@@ -32,6 +34,9 @@ struct AppConfig {
   /// Run the wide-area-optimized variant instead of the original.
   bool optimized = false;
   std::uint64_t seed = 42;
+  /// Flight-recorder settings (off by default; see src/trace/trace.hpp).
+  /// Metrics are collected regardless — only event recording is gated.
+  trace::Config trace;
 
   int total_procs() const { return clusters * procs_per_cluster; }
 };
@@ -50,20 +55,33 @@ struct AppResult {
   /// Total events the engine dispatched for this run.
   std::uint64_t events = 0;
   net::TrafficStats traffic;
+  /// App-specific scalar metrics (iterations, nodes expanded, ...).
   std::map<std::string, double> metrics;
+  /// Full per-layer metrics registry dump (sim/net/orca scopes — the
+  /// Table 4/5 LAN-vs-WAN breakdown lives here under `net/`). Campaigns
+  /// aggregate these across runs via campaign::aggregate_metrics.
+  trace::MetricsSnapshot stats;
+  /// Flight-recorder events, present only when cfg.trace.enabled; shared
+  /// so copying an AppResult stays cheap.
+  std::shared_ptr<const trace::Trace> trace;
 };
 
-/// Simulation stack for one run.
+/// Simulation stack for one run. Owns the trace session (flight
+/// recorder + metrics registry) and attaches it to the engine before
+/// the network is built, so every layer can cache its instruments at
+/// construction time.
 struct Harness {
   sim::Engine eng;
+  trace::Session trace;
   net::Network net;
   orca::Runtime rt;
 
   Harness(const AppConfig& cfg, orca::Runtime::Config rtc = {})
-      : net(eng, patch(cfg)), rt(net, rtc) {}
+      : trace(cfg.trace), net(attach(eng, trace), patch(cfg)), rt(net, rtc) {}
 
   /// Spawns, runs to completion and fills in elapsed + traffic +
-  /// compute/communication breakdown.
+  /// compute/communication breakdown + the per-layer metrics snapshot
+  /// (and the harvested trace when recording was enabled).
   AppResult finish(orca::Runtime::ProcMain main) {
     rt.spawn_all(std::move(main));
     AppResult r;
@@ -80,10 +98,26 @@ struct Harness {
           static_cast<double>(computed) /
           (static_cast<double>(r.elapsed) * rt.nprocs());
     }
+    sim::publish_metrics(eng, trace.metrics());
+    net.publish_metrics(trace.metrics());
+    rt.publish_metrics(trace.metrics());
+    *trace.metrics().counter("sim/compute_ns") = static_cast<std::uint64_t>(computed);
+    r.stats = trace.metrics().snapshot();
+    if (alb::trace::Recorder* rec = trace.recorder()) {
+      r.trace = std::make_shared<const alb::trace::Trace>(rec->harvest());
+    }
     return r;
   }
 
  private:
+  /// Member-initialization shim: attaches the session to the engine
+  /// before Network's constructor runs (Network caches the recorder and
+  /// its histograms from the engine at construction).
+  static sim::Engine& attach(sim::Engine& e, alb::trace::Session& s) {
+    e.attach_trace(&s);
+    return e;
+  }
+
   static net::TopologyConfig patch(const AppConfig& cfg) {
     net::TopologyConfig t = cfg.net_cfg;
     t.clusters = cfg.clusters;

@@ -20,6 +20,20 @@
 // stops claiming new work, every in-flight job drains, and the failure
 // with the *lowest submission index* is rethrown — the same exception the
 // sequential path would have surfaced first.
+//
+// Contracts:
+//   * Determinism — for any `jobs` value, run() returns the same results
+//     in the same order as `jobs = 1`, provided each task is itself
+//     deterministic and independent (simulation jobs are: each owns its
+//     Engine, Network, Runtime and trace::Session). Observability
+//     composes with this: per-run metrics snapshots and traces are
+//     produced inside each job and merge deterministically afterwards
+//     (campaign/metrics.hpp), so `--jobs` never changes any output byte.
+//   * Thread-safety — run() itself may be called from one thread at a
+//     time per Options instance; tasks must not share mutable state.
+//     RunStats is written only after the pool has drained.
+//   * Overhead — `jobs = 1` runs inline on the caller with no pool, no
+//     threads and no synchronization: the sequential reference path.
 
 #include <cstddef>
 #include <functional>

@@ -34,6 +34,12 @@ Network::Network(sim::Engine& eng, const TopologyConfig& cfg)
     delivery_links_.push_back(std::make_unique<Link>(eng, cfg.access));
     bcast_links_.push_back(std::make_unique<Link>(eng, cfg.lan_broadcast));
   }
+
+  rec_ = eng.tracer();
+  if (trace::Session* s = eng.trace_session()) {
+    h_wan_bytes_ = s->metrics().histogram("net/wan.msg_bytes");
+    h_wan_queue_ = s->metrics().histogram("net/wan.queue_ns");
+  }
 }
 
 Link& Network::wan_link(ClusterId from, ClusterId to) {
@@ -70,6 +76,10 @@ void Network::run_hop(HopPlan plan) {
   switch (plan.stage) {
     case HopStage::kGatewayIngress: {
       stats_.record_inter(plan.msg.kind, plan.msg.bytes);
+      if (rec_) {
+        rec_->instant(trace::Category::Net, "net.hop.gw_in", topo_.gateway_of(plan.from),
+                      plan.msg.id, plan.msg.bytes);
+      }
       // Store-and-forward: the gateway spends its per-message forwarding
       // overhead, then the message queues on the WAN circuit.
       plan.stage = HopStage::kWanTransfer;
@@ -77,17 +87,35 @@ void Network::run_hop(HopPlan plan) {
       break;
     }
     case HopStage::kWanTransfer: {
-      const sim::SimTime at_remote_gw = wan_link(plan.from, plan.to).transfer(plan.msg.bytes);
+      Link& wan = wan_link(plan.from, plan.to);
+      if (h_wan_bytes_) {
+        h_wan_bytes_->add(plan.msg.bytes);
+        const sim::SimTime wait = wan.busy_until() - eng_->now();
+        h_wan_queue_->add(static_cast<std::uint64_t>(wait > 0 ? wait : 0));
+      }
+      if (rec_) {
+        rec_->instant(trace::Category::Net, "net.hop.wan", topo_.gateway_of(plan.from),
+                      plan.msg.id, plan.msg.bytes);
+      }
+      const sim::SimTime at_remote_gw = wan.transfer(plan.msg.bytes);
       plan.stage = HopStage::kGatewayEgress;
       schedule_hop_at(at_remote_gw, std::move(plan));
       break;
     }
     case HopStage::kGatewayEgress: {
+      if (rec_) {
+        rec_->instant(trace::Category::Net, "net.hop.gw_out", topo_.gateway_of(plan.to),
+                      plan.msg.id, plan.msg.bytes);
+      }
       plan.stage = HopStage::kClusterDelivery;
       schedule_hop_after(cfg_.gateway_forward_overhead, std::move(plan));
       break;
     }
     case HopStage::kClusterDelivery: {
+      if (rec_) {
+        rec_->end(trace::Category::Net, "net.wan", topo_.gateway_of(plan.to), plan.msg.id,
+                  plan.msg.bytes);
+      }
       if (plan.broadcast) {
         // Remote gateway re-broadcasts into its cluster.
         const sim::SimTime t = bcast_link(plan.to).transfer(plan.msg.bytes);
@@ -115,6 +143,7 @@ std::uint64_t Network::send(Message m) {
   if (m.src == m.dst) {
     // Loopback: no link charge, but still goes through the event queue so
     // a self-send never reorders ahead of already-scheduled work.
+    if (rec_) rec_->instant(trace::Category::Net, "net.send.local", m.src, m.id, m.bytes);
     deliver_at(eng_->now(), std::move(m));
     return id;
   }
@@ -123,6 +152,7 @@ std::uint64_t Network::send(Message m) {
   const ClusterId dc = topo_.cluster_of(m.dst);
 
   if (sc == dc) {
+    if (rec_) rec_->instant(trace::Category::Net, "net.send.lan", m.src, m.id, m.bytes);
     stats_.record_intra(m.kind, m.bytes);
     // Gateways reach their own cluster over the delivery (FE) link;
     // compute nodes use their Myrinet egress.
@@ -136,6 +166,7 @@ std::uint64_t Network::send(Message m) {
   // Intercluster: first hop to the local gateway over Fast Ethernet.
   // (A gateway itself never originates application messages on DAS, but
   // relay code may run there in tests; it goes straight to the WAN.)
+  if (rec_) rec_->begin(trace::Category::Net, "net.wan", m.src, m.id, m.bytes);
   HopPlan plan{std::move(m), sc, dc, HopStage::kGatewayIngress, /*broadcast=*/false};
   if (topo_.is_gateway(plan.msg.src)) {
     run_hop(std::move(plan));
@@ -152,6 +183,7 @@ std::uint64_t Network::lan_broadcast(NodeId src, Message m) {
   m.sent_at = eng_->now();
   m.src = src;
   const ClusterId c = topo_.cluster_of(src);
+  if (rec_) rec_->instant(trace::Category::Net, "net.bcast.lan", src, m.id, m.bytes);
   stats_.record_intra(m.kind, m.bytes);
   sim::SimTime t = bcast_link(c).transfer(m.bytes);
   for (int i = 0; i < topo_.nodes_per_cluster(); ++i) {
@@ -173,10 +205,66 @@ std::uint64_t Network::wan_broadcast(NodeId src, ClusterId target, Message m) {
   m.dst = topo_.gateway_of(target);
   const ClusterId sc = topo_.cluster_of(src);
   const std::uint64_t id = m.id;
+  if (rec_) rec_->begin(trace::Category::Net, "net.wan", src, id, m.bytes);
   const sim::SimTime at_gw = access_link(src).transfer(m.bytes);
   schedule_hop_at(at_gw, HopPlan{std::move(m), sc, target, HopStage::kGatewayIngress,
                                  /*broadcast=*/true});
   return id;
+}
+
+namespace {
+
+/// Sums one accessor across a set of links.
+template <typename Fn>
+std::uint64_t sum_links(const std::vector<std::unique_ptr<Link>>& links, Fn fn) {
+  std::uint64_t n = 0;
+  for (const auto& l : links) {
+    if (l) n += static_cast<std::uint64_t>(fn(*l));
+  }
+  return n;
+}
+
+}  // namespace
+
+void Network::publish_metrics(trace::Metrics& m) const {
+  // Per-kind LAN/WAN breakdown straight from the traffic accounting.
+  for (int k = 0; k < TrafficStats::kNumKinds; ++k) {
+    const MsgKind kind = static_cast<MsgKind>(k);
+    const KindCounters& c = stats_.kind(kind);
+    const std::string base = to_string(kind);
+    *m.counter("net/lan." + base + ".msgs") = c.intra_msgs;
+    *m.counter("net/lan." + base + ".bytes") = c.intra_bytes;
+    *m.counter("net/wan." + base + ".msgs") = c.inter_msgs;
+    *m.counter("net/wan." + base + ".bytes") = c.inter_bytes;
+  }
+
+  // The paper's Table 4/5 columns: "# RPC" folds requests and raw data
+  // messages, "RPC kbyte" adds replies; broadcast folds in ordering
+  // control traffic. Published so benches/tools read the table numbers
+  // by name instead of re-deriving them.
+  *m.counter("net/wan.table.rpc.msgs") = stats_.inter_rpc_count() + stats_.inter_data_count();
+  *m.counter("net/wan.table.rpc.bytes") = stats_.inter_rpc_bytes() + stats_.inter_data_bytes();
+  *m.counter("net/wan.table.bcast.msgs") = stats_.inter_bcast_count();
+  *m.counter("net/wan.table.bcast.bytes") = stats_.inter_bcast_bytes();
+
+  // Per-link-class aggregates (utilization & queueing).
+  *m.counter("net/link.lan.msgs") = sum_links(lan_links_, [](const Link& l) { return l.messages(); }) +
+                                    sum_links(bcast_links_, [](const Link& l) { return l.messages(); });
+  *m.counter("net/link.lan.busy_ns") =
+      sum_links(lan_links_, [](const Link& l) { return l.busy_time(); }) +
+      sum_links(bcast_links_, [](const Link& l) { return l.busy_time(); });
+  *m.counter("net/link.access.msgs") =
+      sum_links(access_links_, [](const Link& l) { return l.messages(); }) +
+      sum_links(delivery_links_, [](const Link& l) { return l.messages(); });
+  *m.counter("net/link.access.busy_ns") =
+      sum_links(access_links_, [](const Link& l) { return l.busy_time(); }) +
+      sum_links(delivery_links_, [](const Link& l) { return l.busy_time(); });
+  *m.counter("net/link.wan.msgs") = sum_links(wan_links_, [](const Link& l) { return l.messages(); });
+  *m.counter("net/link.wan.bytes") = sum_links(wan_links_, [](const Link& l) { return l.bytes(); });
+  *m.counter("net/link.wan.busy_ns") =
+      sum_links(wan_links_, [](const Link& l) { return l.busy_time(); });
+  *m.counter("net/link.wan.queue_ns") =
+      sum_links(wan_links_, [](const Link& l) { return l.queueing_time(); });
 }
 
 }  // namespace alb::net

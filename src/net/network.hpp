@@ -54,6 +54,13 @@ class Network {
   TrafficStats& stats() { return stats_; }
   const TrafficStats& stats() const { return stats_; }
 
+  /// Publishes the run's traffic accounting into `m` under the `net/`
+  /// scope: per-kind LAN/WAN message+byte counters matching the paper's
+  /// Table 4/5 taxonomy, plus per-link-class aggregates (busy and
+  /// queueing time, message counts). Assignment semantics — call once
+  /// per finished run. See docs/OBSERVABILITY.md for the name catalogue.
+  void publish_metrics(trace::Metrics& m) const;
+
   // --- link inspection (tests, utilization reports) -----------------
   Link& lan_link(NodeId n) { return *lan_links_[static_cast<std::size_t>(n)]; }
   Link& access_link(NodeId n) { return *access_links_[static_cast<std::size_t>(n)]; }
@@ -90,6 +97,13 @@ class Network {
   Topology topo_;
   TrafficStats stats_;
   std::uint64_t next_id_ = 1;
+
+  // Observability (see src/trace/): the recorder pointer guards every
+  // record site (null = tracing off, one branch); the histograms are
+  // created once at construction when a session is attached.
+  trace::Recorder* rec_ = nullptr;
+  trace::Histogram* h_wan_bytes_ = nullptr;
+  trace::Histogram* h_wan_queue_ = nullptr;
 
   std::vector<std::unique_ptr<Endpoint>> endpoints_;   // per node (incl. gateways)
   std::vector<std::unique_ptr<Link>> lan_links_;       // per compute node: Myrinet egress

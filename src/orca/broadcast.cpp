@@ -54,7 +54,20 @@ void BroadcastEngine::disseminate(net::NodeId node, std::size_t bytes, int tag,
 }
 
 sim::Task<void> BroadcastEngine::broadcast(net::NodeId node, std::size_t bytes, BcastOp op) {
+  // Span 1: the get-sequence stall (a WAN roundtrip for a remote
+  // sequencer — the cost the migrating sequencer optimizes away).
+  trace::Recorder* rec = net_->engine().tracer();
+  std::uint64_t span = 0;
+  if (rec) {
+    span = rec->next_span_id();
+    rec->begin(trace::Category::Orca, "orca.seq.get", node, span);
+  }
   const std::uint64_t seq = co_await seq_->get_sequence(node);
+  if (rec) {
+    rec->end(trace::Category::Orca, "orca.seq.get", node, span, seq);
+    // Span 2: dissemination until the sender's own in-order apply.
+    rec->begin(trace::Category::Orca, "orca.bcast", node, seq, bytes);
+  }
   auto payload = net::make_payload<Shipment>(Shipment{seq, op});
   disseminate(node, bytes, kTagBcastData, std::move(payload));
 
@@ -63,9 +76,13 @@ sim::Task<void> BroadcastEngine::broadcast(net::NodeId node, std::size_t bytes, 
   local_apply_waiters_.emplace(std::make_pair(node, seq), applied);
   enqueue(node, seq, std::move(op));
   co_await applied;
+  if (rec) rec->end(trace::Category::Orca, "orca.bcast", node, seq);
 }
 
 void BroadcastEngine::broadcast_unordered(net::NodeId node, std::size_t bytes, BcastOp op) {
+  if (trace::Recorder* rec = net_->engine().tracer()) {
+    rec->instant(trace::Category::Orca, "orca.bcast.unordered", node, 0, bytes);
+  }
   auto payload = net::make_payload<Shipment>(Shipment{kUnordered, op});
   disseminate(node, bytes, kTagBcastData, std::move(payload));
   apply_now(node, op);
@@ -81,7 +98,9 @@ void BroadcastEngine::enqueue(net::NodeId node, std::uint64_t seq, BcastOp op) {
 void BroadcastEngine::drain(net::NodeId node) {
   auto& buf = reorder_[static_cast<std::size_t>(node)];
   auto& next = next_to_apply_[static_cast<std::size_t>(node)];
+  trace::Recorder* rec = net_->engine().tracer();
   for (auto it = buf.find(next); it != buf.end(); it = buf.find(next)) {
+    if (rec) rec->instant(trace::Category::Orca, "orca.bcast.apply", node, next);
     apply_now(node, it->second);
     buf.erase(it);
     if (auto w = local_apply_waiters_.find({node, next}); w != local_apply_waiters_.end()) {

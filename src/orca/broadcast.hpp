@@ -55,6 +55,13 @@ class BroadcastEngine {
     return applied_count_[static_cast<std::size_t>(node)];
   }
 
+  /// Total operations applied across every node.
+  std::uint64_t applied_total() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t c : applied_count_) n += c;
+    return n;
+  }
+
  private:
   struct Shipment {
     std::uint64_t seq;

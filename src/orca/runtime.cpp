@@ -76,6 +76,9 @@ sim::Task<std::shared_ptr<const void>> Runtime::rpc(
   sim::Future<std::shared_ptr<const void>> fut(engine());
   pending_rpcs_.emplace(id, fut);
 
+  trace::Recorder* rec = engine().tracer();
+  if (rec) rec->begin(trace::Category::Orca, "orca.rpc", caller, id, request_bytes);
+
   net::Message m;
   m.src = caller;
   m.dst = target;
@@ -91,7 +94,9 @@ sim::Task<std::shared_ptr<const void>> Runtime::rpc(
   m.payload = net::make_payload<RpcRequest>(std::move(req));
   net_->send(std::move(m));
 
-  co_return co_await fut;
+  std::shared_ptr<const void> result = co_await fut;
+  if (rec) rec->end(trace::Category::Orca, "orca.rpc", caller, id, reply_bytes);
+  co_return result;
 }
 
 sim::Task<std::shared_ptr<const void>> Runtime::rpc_blocking(
@@ -103,6 +108,9 @@ sim::Task<std::shared_ptr<const void>> Runtime::rpc_blocking(
   const std::uint64_t id = next_call_id_++;
   sim::Future<std::shared_ptr<const void>> fut(engine());
   pending_rpcs_.emplace(id, fut);
+
+  trace::Recorder* rec = engine().tracer();
+  if (rec) rec->begin(trace::Category::Orca, "orca.rpc", caller, id, request_bytes);
 
   net::Message m;
   m.src = caller;
@@ -119,7 +127,9 @@ sim::Task<std::shared_ptr<const void>> Runtime::rpc_blocking(
   m.payload = net::make_payload<RpcRequest>(std::move(req));
   net_->send(std::move(m));
 
-  co_return co_await fut;
+  std::shared_ptr<const void> result = co_await fut;
+  if (rec) rec->end(trace::Category::Orca, "orca.rpc", caller, id, reply_bytes);
+  co_return result;
 }
 
 void Runtime::send_reply(net::NodeId at, net::NodeId caller, std::uint64_t call_id,
@@ -140,6 +150,9 @@ sim::Task<void> Runtime::serve_blocking(net::NodeId at, RpcRequest req) {
 }
 
 void Runtime::handle_rpc_request(net::NodeId at, RpcRequest req) {
+  if (trace::Recorder* rec = engine().tracer()) {
+    rec->instant(trace::Category::Orca, "orca.rpc.serve", at, req.call_id);
+  }
   if (req.op_blocking) {
     engine().spawn(serve_blocking(at, std::move(req)));
     return;
@@ -171,6 +184,9 @@ void Runtime::send_data(const Proc& from, int dst_rank, int tag, std::size_t byt
 sim::Task<void> Runtime::barrier(Proc& p) {
   if (nprocs() == 1) co_return;
   const std::uint64_t gen = barrier_local_gen_[static_cast<std::size_t>(p.rank)]++;
+  if (trace::Recorder* rec = engine().tracer()) {
+    rec->instant(trace::Category::Orca, "orca.barrier.arrive", p.node, gen);
+  }
   sim::Future<> released(engine());
   barrier_waiters_.emplace(std::make_pair(p.node, gen), released);
   if (p.rank == 0) {
@@ -191,6 +207,11 @@ sim::Task<void> Runtime::barrier(Proc& p) {
 void Runtime::release_barrier() {
   barrier_arrivals_ = 0;
   const std::uint64_t gen = barrier_generation_++;
+  // Phase boundary marker: tools segment a run into barrier-delimited
+  // phases by these instants (see tools/alb_trace.cpp).
+  if (trace::Recorder* rec = engine().tracer()) {
+    rec->instant(trace::Category::Orca, "orca.barrier.release", 0, gen);
+  }
   const auto& topo = net_->topology();
   auto payload = net::make_payload<std::uint64_t>(gen);
   // Release rank 0 directly (it is the broadcaster).
@@ -245,6 +266,13 @@ sim::SimTime Runtime::run_all() {
   engine().run();
   assert(finished_ == nprocs() && "some processes never finished (deadlock?)");
   return last_finish_;
+}
+
+void Runtime::publish_metrics(trace::Metrics& m) const {
+  *m.counter("orca/rpc.calls") = next_call_id_ - 1;
+  *m.counter("orca/bcast.applied") = bcast_->applied_total();
+  *m.counter("orca/seq.issued") = seq_->issued();
+  *m.counter("orca/barrier.rounds") = barrier_generation_;
 }
 
 }  // namespace alb::orca

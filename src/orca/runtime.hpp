@@ -118,6 +118,11 @@ class Runtime {
   sim::SimTime last_finish() const { return last_finish_; }
   int finished_procs() const { return finished_; }
 
+  /// Publishes runtime-layer counters (RPC calls, broadcasts applied,
+  /// sequence numbers issued, barrier rounds) into `m` under the
+  /// `orca/` scope. Assignment semantics — call once per finished run.
+  void publish_metrics(trace::Metrics& m) const;
+
  private:
   struct RpcRequest {
     std::uint64_t call_id;

@@ -57,6 +57,11 @@ class SequencerBase : public Sequencer {
   /// `grantor` itself, otherwise ships a grant message whose arrival
   /// resolves the caller's future.
   void grant(net::NodeId grantor, SeqRequest req, std::uint64_t seq) {
+    if (trace::Recorder* rec = eng().tracer()) {
+      // Ordering decision: `seq` assigned at `grantor` for `requester`.
+      rec->instant(trace::Category::Orca, "orca.seq.issue", grantor, seq,
+                   static_cast<std::uint64_t>(req.requester));
+    }
     if (req.requester == grantor) {
       req.fut.set_value(seq);
       return;
@@ -209,6 +214,10 @@ class RotatingSequencer final : public SequencerBase {
     token_in_flight_ = true;
     kick_sent_ = false;
     net::ClusterId next = (holder_ + 1) % topo().clusters();
+    if (trace::Recorder* rec = eng().tracer()) {
+      rec->instant(trace::Category::Orca, "orca.seq.token", seq_node(holder_),
+                   static_cast<std::uint64_t>(next));
+    }
     net::Message m;
     m.src = seq_node(holder_);
     m.dst = seq_node(next);
@@ -293,6 +302,10 @@ class MigratingSequencer final : public SequencerBase {
     // location pointer is simulation-shared, with in-flight requests
     // forwarded on arrival (see on_request).
     send_control(location_, node, kTagSeqMigrate, nullptr, 2 * kControlBytes);
+    if (trace::Recorder* rec = eng().tracer()) {
+      rec->instant(trace::Category::Orca, "orca.seq.migrate", location_,
+                   static_cast<std::uint64_t>(node));
+    }
     ALB_LOG_AT(util::LogLevel::Debug, eng().now())
         << "sequencer migrates " << location_ << " -> " << node;
     location_ = node;

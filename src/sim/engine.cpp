@@ -67,6 +67,7 @@ void Engine::schedule_resume_after(SimTime delay, std::coroutine_handle<> h) {
 
 void Engine::spawn(Task<void> task) {
   ++tasks_spawned_;
+  if (tracer_) tracer_->instant(trace::Category::Sim, "task.spawn", -1, tasks_spawned_);
   // The Task is move-only; UniqueFunction supports move-only captures.
   // Starting the wrapper here (inside the queued event) makes the body's
   // first instructions run at the scheduled time, not at spawn time.
@@ -92,6 +93,13 @@ void schedule_resume_now(std::coroutine_handle<> h) {
 void Engine::dispatch(EventQueue::Event e) {
   g_current_engine = this;
   now_ = e.time;
+  if (tracer_) {
+    tracer_->set_time(now_);
+    if (tracer_->engine_events()) {
+      tracer_->instant(trace::Category::Sim, e.resume ? "engine.resume" : "engine.event", -1,
+                       e.seq);
+    }
+  }
   // FNV-1a over time and seq.
   auto mix = [this](std::uint64_t v) {
     for (int i = 0; i < 8; ++i) {
@@ -123,6 +131,13 @@ bool Engine::run_until(SimTime t) {
   }
   if (now_ < t) now_ = t;
   return true;
+}
+
+void publish_metrics(const Engine& eng, trace::Metrics& m) {
+  *m.counter("sim/events") = eng.events_processed();
+  *m.counter("sim/tasks.spawned") = eng.tasks_spawned();
+  *m.counter("sim/tasks.finished") = eng.tasks_finished();
+  *m.counter("sim/time_ns") = static_cast<std::uint64_t>(eng.now());
 }
 
 }  // namespace alb::sim

@@ -6,12 +6,28 @@
 // Simulated processes are coroutines (sim::Task) spawned onto the engine;
 // they block on awaitables (delay(), Future, Channel, Barrier, network
 // receive) that schedule their resumption through the event queue.
+//
+// Contracts (relied on throughout the stack):
+//   * Determinism — given the same initial schedule, every run dispatches
+//     the same events at the same simulated times in the same order;
+//     trace_hash() fingerprints that stream and golden tests pin it.
+//     Nothing in the engine reads wall time or any other ambient state.
+//   * Thread-safety — an Engine and everything scheduled on it belong to
+//     one thread. Campaigns parallelize by giving each job its own
+//     Engine, never by sharing one.
+//   * Observability — attach_trace() connects an optional trace::Session
+//     (flight recorder + metrics registry, see src/trace/trace.hpp).
+//     With no session attached the engine does no tracing work beyond
+//     one null-pointer test per dispatched event, which is how the
+//     bench_engine microbenches run; instrumented layers cache
+//     tracer() once and guard each record site the same way.
 
 #include <cstdint>
 
 #include "sim/event_queue.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "trace/trace.hpp"
 
 namespace alb::sim {
 
@@ -81,9 +97,26 @@ class Engine {
   /// a cheap but sensitive probe for determinism tests.
   std::uint64_t trace_hash() const { return trace_hash_; }
 
+  // --- observability -------------------------------------------------
+  /// Attaches (or detaches, with nullptr) a trace session. Not owned;
+  /// the session must outlive every subsequent dispatch. Layers built
+  /// on the engine reach the session through trace_session()/tracer()
+  /// at construction time and cache what they need.
+  void attach_trace(trace::Session* s) {
+    session_ = s;
+    tracer_ = s ? s->recorder() : nullptr;
+  }
+  trace::Session* trace_session() const { return session_; }
+  /// The flight recorder, or nullptr when tracing is off — record sites
+  /// guard with exactly this pointer.
+  trace::Recorder* tracer() const { return tracer_; }
+
  private:
   friend struct DetachedTask;
-  void note_task_finished() { ++tasks_finished_; }
+  void note_task_finished() {
+    ++tasks_finished_;
+    if (tracer_) tracer_->instant(trace::Category::Sim, "task.finish", -1, tasks_finished_);
+  }
   void dispatch(EventQueue::Event e);
 
   EventQueue queue_;
@@ -93,6 +126,12 @@ class Engine {
   std::uint64_t tasks_spawned_ = 0;
   std::uint64_t tasks_finished_ = 0;
   std::uint64_t trace_hash_ = 1469598103934665603ull;  // FNV offset basis
+  trace::Session* session_ = nullptr;
+  trace::Recorder* tracer_ = nullptr;
 };
+
+/// Publishes the engine's run counters into `m` under the `sim/` scope
+/// (assignment, not accumulation — call once per finished run).
+void publish_metrics(const Engine& eng, trace::Metrics& m);
 
 }  // namespace alb::sim

@@ -1,0 +1,63 @@
+#include "trace/chrome_trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace alb::trace {
+
+namespace {
+
+/// Formats simulated nanoseconds as microseconds with fixed precision.
+/// snprintf with %.3f is locale-independent for these values and
+/// deterministic — the same input always renders the same bytes.
+void write_ts(std::ostream& os, sim::SimTime ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", static_cast<std::int64_t>(ns / 1000),
+                static_cast<int>(ns % 1000));
+  os << buf;
+}
+
+void write_event(std::ostream& os, const TraceEvent& e) {
+  const char* ph = "i";
+  switch (e.phase) {
+    case EventPhase::Instant: ph = "i"; break;
+    case EventPhase::Begin: ph = "b"; break;
+    case EventPhase::End: ph = "e"; break;
+  }
+  os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << to_string(e.cat) << "\",\"ph\":\"" << ph
+     << "\",\"ts\":";
+  write_ts(os, e.time);
+  os << ",\"pid\":0,\"tid\":" << e.actor;
+  if (e.phase == EventPhase::Instant) {
+    os << ",\"s\":\"t\"";
+  } else {
+    os << ",\"id\":" << e.id;
+  }
+  os << ",\"args\":{\"id\":" << e.id << ",\"arg\":" << e.arg << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const Trace& trace, std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"recorded\":" << trace.recorded
+     << ",\"dropped\":" << trace.dropped << ",\"capacity\":" << trace.capacity
+     << "},\"traceEvents\":[\n";
+  // Process/thread naming metadata so viewers label rows usefully.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"albatross sim\"}}";
+  for (const TraceEvent& e : trace.events) {
+    os << ",\n";
+    write_event(os, e);
+  }
+  os << "\n]}\n";
+}
+
+std::string chrome_trace_string(const Trace& trace) {
+  std::ostringstream ss;
+  write_chrome_trace(trace, ss);
+  return ss.str();
+}
+
+}  // namespace alb::trace

@@ -1,0 +1,37 @@
+#pragma once
+// Chrome trace_event JSON exporter.
+//
+// Serializes a harvested Trace into the Trace Event Format understood
+// by `chrome://tracing` and by Perfetto's legacy-JSON importer
+// (ui.perfetto.dev → "Open trace file"). Mapping:
+//
+//   * Instant          → ph "i" (thread-scoped), tid = actor
+//   * Begin/End span   → ph "b"/"e" async pair keyed by (cat, id) —
+//     async spans because simulated coroutines interleave freely, so
+//     span pairs from one node need no stack nesting discipline
+//   * pid              → 0 ("albatross sim"); tid = actor (node id),
+//     with gateway nodes appearing as their own threads
+//   * ts               → simulated microseconds (fractional; the sim's
+//     native unit is nanoseconds)
+//   * args             → {"id": ..., "arg": ...} raw event words
+//
+// Determinism: output is a pure function of the Trace — integer
+// timestamps are formatted with fixed precision, metadata is emitted in
+// a fixed order — so byte-comparing two exports is a valid determinism
+// check (tests/trace/trace_determinism_test.cpp does exactly that).
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace alb::trace {
+
+/// Writes the full Chrome trace JSON object to `os`.
+void write_chrome_trace(const Trace& trace, std::ostream& os);
+
+/// Convenience: the same JSON as a string (used by the byte-identity
+/// determinism tests).
+std::string chrome_trace_string(const Trace& trace);
+
+}  // namespace alb::trace

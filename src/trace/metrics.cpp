@@ -1,0 +1,125 @@
+#include "trace/metrics.hpp"
+
+#include <bit>
+#include <ostream>
+
+namespace alb::trace {
+
+void Histogram::add(std::uint64_t v) {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  ++count;
+  sum += v;
+  ++buckets[static_cast<std::size_t>(std::bit_width(v))];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+  count += other.count;
+  sum += other.sum;
+  for (int i = 0; i < kBuckets; ++i) buckets[static_cast<std::size_t>(i)] += other.buckets[static_cast<std::size_t>(i)];
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count == 0) return 0;
+  if (p <= 0) return min;
+  if (p >= 100) return max;
+  const double rank = p / 100.0 * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets[static_cast<std::size_t>(i)];
+    if (static_cast<double>(seen) >= rank) {
+      // Upper bound of bucket i: values with bit width i are < 2^i.
+      if (i == 0) return 0;
+      const std::uint64_t ub = (i >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << i) - 1);
+      return ub < max ? ub : max;
+    }
+  }
+  return max;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) histograms[name].merge(h);
+}
+
+double MetricsSnapshot::value(const std::string& name) const {
+  if (auto it = counters.find(name); it != counters.end()) return static_cast<double>(it->second);
+  if (auto it = gauges.find(name); it != gauges.end()) return it->second;
+  return 0.0;
+}
+
+void MetricsSnapshot::write_csv(std::ostream& os) const {
+  os << "name,kind,value,count,mean,p50,p99,max\n";
+  for (const auto& [name, v] : counters) os << name << ",counter," << v << ",,,,,\n";
+  for (const auto& [name, v] : gauges) os << name << ",gauge," << v << ",,,,,\n";
+  for (const auto& [name, h] : histograms) {
+    os << name << ",histogram," << h.sum << ',' << h.count << ',' << h.mean() << ','
+       << h.percentile(50) << ',' << h.percentile(99) << ',' << (h.count ? h.max : 0) << "\n";
+  }
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ':' << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ':' << v;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ":{\"count\":" << h.count << ",\"sum\":" << h.sum << ",\"min\":" << (h.count ? h.min : 0)
+       << ",\"max\":" << (h.count ? h.max : 0) << ",\"mean\":" << h.mean()
+       << ",\"p50\":" << h.percentile(50) << ",\"p99\":" << h.percentile(99) << '}';
+  }
+  os << "}}";
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot s;
+  s.counters = counters_;
+  s.gauges = gauges_;
+  s.histograms = hists_;
+  return s;
+}
+
+}  // namespace alb::trace

@@ -1,0 +1,222 @@
+// alb-trace: run one application configuration with the flight recorder
+// on and emit its observability artifacts:
+//
+//   * a Chrome trace_event JSON timeline (open in chrome://tracing or
+//     ui.perfetto.dev) via --trace-out,
+//   * the full metrics registry as CSV (--metrics-out) or JSON
+//     (--metrics-json),
+//   * and, on stdout, the run summary, the LAN/WAN traffic breakdown in
+//     the paper's Table 4/5 taxonomy, WAN circuit queueing/size
+//     distributions, and a per-phase WAN traffic table (phases are
+//     delimited by global barrier releases found in the trace).
+//
+// Everything printed or written is a pure function of (app, topology,
+// seed, variant): byte-identical on re-run. docs/OBSERVABILITY.md walks
+// through a worked example.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "net/presets.hpp"
+#include "trace/chrome_trace.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace alb;
+
+/// One barrier-delimited phase of WAN activity, from the trace stream.
+struct Phase {
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  std::uint64_t wan_msgs = 0;
+  std::uint64_t wan_bytes = 0;
+  std::uint64_t bcasts = 0;
+  std::uint64_t rpcs = 0;
+};
+
+std::vector<Phase> split_phases(const trace::Trace& tr) {
+  std::vector<Phase> phases(1);
+  for (const trace::TraceEvent& e : tr.events) {
+    Phase& cur = phases.back();
+    cur.end = e.time;
+    const std::string_view name = e.name;
+    if (name == "net.wan" && e.phase == trace::EventPhase::Begin) {
+      ++cur.wan_msgs;
+      cur.wan_bytes += e.arg;
+    } else if (name == "orca.bcast" && e.phase == trace::EventPhase::Begin) {
+      ++cur.bcasts;
+    } else if (name == "orca.rpc" && e.phase == trace::EventPhase::Begin) {
+      ++cur.rpcs;
+    } else if (name == "orca.barrier.release") {
+      phases.push_back(Phase{e.time, e.time, 0, 0, 0, 0});
+    }
+  }
+  return phases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace alb;
+  util::Options opts;
+  opts.define("app", "TSP", "app name from the registry (Water, TSP, ASP, ATPG, IDA*, RA, ACP, SOR)");
+  opts.define("clusters", "4", "number of clusters");
+  opts.define("per", "15", "processes per cluster");
+  opts.define_flag("opt", "run the wide-area-optimized variant");
+  opts.define("seed", "42", "workload seed");
+  opts.define("capacity", "1048576", "flight-recorder ring capacity (events)");
+  opts.define_flag("engine-events", "also record one instant per engine event (high volume)");
+  opts.define("trace-out", "", "write Chrome trace_event JSON here");
+  opts.define("metrics-out", "", "write the metrics registry as CSV here");
+  opts.define("metrics-json", "", "write the metrics registry as JSON here");
+  opts.define_flag("csv", "print the summary tables as CSV");
+  if (!opts.parse(argc, argv)) return 0;
+
+  const apps::AppEntry* entry = nullptr;
+  for (const auto& e : apps::registry()) {
+    if (e.name == opts.get("app")) entry = &e;
+  }
+  if (!entry) {
+    std::cerr << "unknown app '" << opts.get("app") << "'; registry:";
+    for (const auto& e : apps::registry()) std::cerr << ' ' << e.name;
+    std::cerr << '\n';
+    return 1;
+  }
+
+  const int clusters = static_cast<int>(opts.get_int("clusters"));
+  const int per = static_cast<int>(opts.get_int("per"));
+  apps::AppConfig cfg;
+  cfg.clusters = clusters;
+  cfg.procs_per_cluster = per;
+  cfg.net_cfg = net::das_config(clusters, per);
+  cfg.optimized = opts.has_flag("opt");
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+  cfg.trace.enabled = true;
+  cfg.trace.capacity = static_cast<std::size_t>(opts.get_int("capacity"));
+  cfg.trace.engine_events = opts.has_flag("engine-events");
+
+  const apps::AppResult r = entry->run(cfg);
+  const bool csv = opts.has_flag("csv");
+
+  // --- run summary ---------------------------------------------------
+  std::cout << "app=" << entry->name << " clusters=" << clusters << " per_cluster=" << per
+            << " variant=" << (cfg.optimized ? "optimized" : "original") << " seed=" << cfg.seed
+            << "\n"
+            << "sim_time_s=" << sim::to_seconds(r.elapsed) << " events=" << r.events
+            << " trace_hash=" << r.trace_hash << "\n";
+  if (r.trace) {
+    std::cout << "trace: recorded=" << r.trace->recorded << " kept=" << r.trace->events.size()
+              << " dropped=" << r.trace->dropped << " capacity=" << r.trace->capacity << "\n";
+  }
+  std::cout << "\n";
+
+  // --- LAN/WAN traffic, Table 4/5 taxonomy ---------------------------
+  util::Table traffic({"kind", "lan_msgs", "lan_kbyte", "wan_msgs", "wan_kbyte"});
+  for (int k = 0; k < net::TrafficStats::kNumKinds; ++k) {
+    const std::string base = net::to_string(static_cast<net::MsgKind>(k));
+    traffic.row()
+        .add(base)
+        .add(static_cast<long long>(r.stats.value("net/lan." + base + ".msgs")))
+        .add(static_cast<long long>(r.stats.value("net/lan." + base + ".bytes") / 1024))
+        .add(static_cast<long long>(r.stats.value("net/wan." + base + ".msgs")))
+        .add(static_cast<long long>(r.stats.value("net/wan." + base + ".bytes") / 1024));
+  }
+  traffic.row()
+      .add("table.rpc")
+      .add(std::string("-"))
+      .add(std::string("-"))
+      .add(static_cast<long long>(r.stats.value("net/wan.table.rpc.msgs")))
+      .add(static_cast<long long>(r.stats.value("net/wan.table.rpc.bytes") / 1024));
+  traffic.row()
+      .add("table.bcast")
+      .add(std::string("-"))
+      .add(std::string("-"))
+      .add(static_cast<long long>(r.stats.value("net/wan.table.bcast.msgs")))
+      .add(static_cast<long long>(r.stats.value("net/wan.table.bcast.bytes") / 1024));
+  std::cout << (csv ? "# traffic by kind\n" : "=== traffic by kind (LAN vs WAN) ===\n");
+  if (csv) traffic.print_csv(std::cout);
+  else traffic.print(std::cout);
+  std::cout << "\n";
+
+  // --- WAN circuit distributions -------------------------------------
+  if (auto it = r.stats.histograms.find("net/wan.msg_bytes"); it != r.stats.histograms.end()) {
+    const trace::Histogram& hb = it->second;
+    const trace::Histogram& hq = r.stats.histograms.at("net/wan.queue_ns");
+    util::Table wan({"metric", "count", "mean", "p50", "p99", "max"});
+    wan.row()
+        .add("wan msg bytes")
+        .add(static_cast<long long>(hb.count))
+        .add(hb.mean(), 1)
+        .add(static_cast<long long>(hb.percentile(50)))
+        .add(static_cast<long long>(hb.percentile(99)))
+        .add(static_cast<long long>(hb.count ? hb.max : 0));
+    wan.row()
+        .add("wan queue ns")
+        .add(static_cast<long long>(hq.count))
+        .add(hq.mean(), 1)
+        .add(static_cast<long long>(hq.percentile(50)))
+        .add(static_cast<long long>(hq.percentile(99)))
+        .add(static_cast<long long>(hq.count ? hq.max : 0));
+    std::cout << (csv ? "# wan circuit\n" : "=== WAN circuit distributions ===\n");
+    if (csv) wan.print_csv(std::cout);
+    else wan.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- per-phase WAN traffic -----------------------------------------
+  if (r.trace) {
+    const std::vector<Phase> phases = split_phases(*r.trace);
+    util::Table pt({"phase", "start_s", "end_s", "wan_msgs", "wan_kbyte", "bcasts", "rpcs"});
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      const Phase& p = phases[i];
+      pt.row()
+          .add(static_cast<long long>(i))
+          .add(sim::to_seconds(p.start), 4)
+          .add(sim::to_seconds(p.end), 4)
+          .add(static_cast<long long>(p.wan_msgs))
+          .add(static_cast<long long>(p.wan_bytes / 1024))
+          .add(static_cast<long long>(p.bcasts))
+          .add(static_cast<long long>(p.rpcs));
+    }
+    std::cout << (csv ? "# per-phase wan traffic\n"
+                      : "=== per-phase WAN traffic (phases = barrier intervals) ===\n");
+    if (csv) pt.print_csv(std::cout);
+    else pt.print(std::cout);
+    if (r.trace->dropped > 0) {
+      std::cout << "(ring dropped " << r.trace->dropped
+                << " oldest events; early phases are undercounted — raise --capacity)\n";
+    }
+    std::cout << "\n";
+  }
+
+  // --- artifact files ------------------------------------------------
+  auto write_file = [](const std::string& path, auto&& writer) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+      std::cerr << "cannot open " << path << " for writing\n";
+      return false;
+    }
+    writer(os);
+    std::cout << "wrote " << path << "\n";
+    return true;
+  };
+  bool ok = true;
+  if (const std::string& p = opts.get("trace-out"); !p.empty()) {
+    ok &= write_file(p, [&](std::ostream& os) { trace::write_chrome_trace(*r.trace, os); });
+  }
+  if (const std::string& p = opts.get("metrics-out"); !p.empty()) {
+    ok &= write_file(p, [&](std::ostream& os) { r.stats.write_csv(os); });
+  }
+  if (const std::string& p = opts.get("metrics-json"); !p.empty()) {
+    ok &= write_file(p, [&](std::ostream& os) {
+      r.stats.write_json(os);
+      os << "\n";
+    });
+  }
+  return ok ? 0 : 1;
+}

@@ -55,4 +55,39 @@ echo "=== bench smoke ==="
 ./build-release/bench/bench_engine --smoke --json build-release/BENCH_engine.smoke.json
 ./build-release/bench/bench_campaign --quick --json build-release/BENCH_campaign.smoke.json
 
+echo "=== observability smoke: traced run + artifact validation ==="
+./build-release/tools/alb-trace --app ASP --clusters 2 --per 4 \
+  --trace-out build-release/alb-trace.smoke.json \
+  --metrics-out build-release/alb-trace.smoke.csv \
+  --metrics-json build-release/alb-trace.smoke.metrics.json
+python3 - <<'EOF'
+import json
+trace = json.load(open("build-release/alb-trace.smoke.json"))
+assert trace["traceEvents"], "empty traceEvents"
+assert trace["otherData"]["recorded"] > 0, "nothing recorded"
+phases = {e["ph"] for e in trace["traceEvents"]}
+assert {"b", "e", "i"} <= phases, f"missing event phases: {phases}"
+metrics = json.load(open("build-release/alb-trace.smoke.metrics.json"))
+assert metrics["counters"]["net/wan.table.bcast.msgs"] > 0, "no WAN broadcast traffic"
+print(f"trace OK: {len(trace['traceEvents'])} events; "
+      f"{len(metrics['counters'])} counters")
+EOF
+
+echo "=== docs: no dead relative links ==="
+fail=0
+for doc in README.md DESIGN.md EXPERIMENTS.md docs/*.md; do
+  dir=$(dirname "$doc")
+  # Extract relative markdown link targets (skip fenced code blocks,
+  # which contain lambda syntax that looks like links, URLs and #anchors).
+  for target in $(sed '/^```/,/^```/d' "$doc" \
+                  | grep -o '](\([^)#]*\))' | sed 's/](\(.*\))/\1/' \
+                  | grep -v '^[a-z]*://' || true); do
+    if [ ! -e "$dir/$target" ]; then
+      echo "dead link in $doc: $target"
+      fail=1
+    fi
+  done
+done
+[ "$fail" -eq 0 ] || { echo "dead relative links found"; exit 1; }
+
 echo "=== all checks passed ==="
