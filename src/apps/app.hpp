@@ -37,13 +37,28 @@ struct AppConfig {
   /// Flight-recorder settings (off by default; see src/trace/trace.hpp).
   /// Metrics are collected regardless — only event recording is gated.
   trace::Config trace;
+  /// Deterministic WAN fault injection (disabled by default; see
+  /// src/net/fault.hpp and docs/RESILIENCE.md). A disabled plan is a
+  /// strict no-op: the run is byte-identical to one without this field.
+  net::FaultPlan faults;
 
   int total_procs() const { return clusters * procs_per_cluster; }
 };
 
 struct AppResult {
+  enum class RunStatus {
+    Ok,
+    /// Fault-injection recovery exhausted its retry budget: the run was
+    /// cut short, `error` describes the failing operation, and checksum
+    /// is not meaningful. Only reachable with an enabled FaultPlan.
+    HardFailure,
+  };
+
   /// Simulated time of the parallel phase (last process finish).
   sim::SimTime elapsed = 0;
+  RunStatus status = RunStatus::Ok;
+  /// Human-readable failure description (empty when status == Ok).
+  std::string error;
   /// Deterministic fingerprint of the computed answer; must equal the
   /// sequential reference and be identical for original vs optimized
   /// (except where the algorithm legitimately changes, e.g. chaotic SOR).
@@ -77,7 +92,8 @@ struct Harness {
   orca::Runtime rt;
 
   Harness(const AppConfig& cfg, orca::Runtime::Config rtc = {})
-      : trace(cfg.trace), net(attach(eng, trace), patch(cfg)), rt(net, rtc) {}
+      : trace(cfg.trace), net(attach(eng, trace), patch(cfg), cfg.faults, cfg.seed),
+        rt(net, rtc) {}
 
   /// Spawns, runs to completion and fills in elapsed + traffic +
   /// compute/communication breakdown + the per-layer metrics snapshot
@@ -86,6 +102,10 @@ struct Harness {
     rt.spawn_all(std::move(main));
     AppResult r;
     r.elapsed = rt.run_all();
+    if (net::FaultInjector* f = net.faults(); f != nullptr && f->failed()) {
+      r.status = AppResult::RunStatus::HardFailure;
+      r.error = f->failure()->describe();
+    }
     r.trace_hash = eng.trace_hash();
     r.events = eng.events_processed();
     r.traffic = net.stats();

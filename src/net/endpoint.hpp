@@ -50,11 +50,20 @@ class Endpoint {
     mailbox(m.tag).send(std::move(m));
   }
 
+  /// Poisons every mailbox (current and future): blocked and subsequent
+  /// receive() calls rethrow `e`. Part of the hard-failure fan-out —
+  /// see src/net/fault.hpp.
+  void fail_pending(std::exception_ptr e) {
+    fail_ = e;
+    for (auto& [tag, ch] : mailboxes_) ch->fail_all(e);
+  }
+
  private:
   sim::Channel<Message>& mailbox(int tag) {
     auto it = mailboxes_.find(tag);
     if (it == mailboxes_.end()) {
       it = mailboxes_.emplace(tag, std::make_unique<sim::Channel<Message>>(*eng_)).first;
+      if (fail_) it->second->fail_all(fail_);
     }
     return *it->second;
   }
@@ -62,6 +71,7 @@ class Endpoint {
   sim::Engine* eng_;
   std::map<int, Handler> handlers_;
   std::map<int, std::unique_ptr<sim::Channel<Message>>> mailboxes_;
+  std::exception_ptr fail_{};
 };
 
 }  // namespace alb::net

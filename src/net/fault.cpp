@@ -1,0 +1,146 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace alb::net {
+
+std::string FailureInfo::describe() const {
+  std::string what;
+  switch (kind) {
+    case Kind::RpcTimeout: what = "rpc to remote object"; break;
+    case Kind::SeqTimeout: what = "sequencer get-sequence"; break;
+  }
+  return "hard failure: " + what + " from node " + std::to_string(node) + " (op " +
+         std::to_string(op_id) + ") timed out after " + std::to_string(attempts) + " attempts";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed, trace::Metrics* metrics)
+    : plan_(std::move(plan)), recovery_active_(plan_.can_drop()) {
+  assert(plan_.enabled && "construct an injector only for enabled plans");
+  // Decorrelate from the workload streams (procs reseed at 0x5eed0000):
+  // the fault stream must not replay an application's draws.
+  rng_.reseed(seed ^ 0xfa017'5eedull);
+  if (metrics) {
+    h_drop_bytes_[0] = metrics->histogram("net/fault.drop_bytes.lan");
+    h_drop_bytes_[1] = metrics->histogram("net/fault.drop_bytes.access");
+    h_drop_bytes_[2] = metrics->histogram("net/fault.drop_bytes.wan");
+  }
+}
+
+const LinkFaults& FaultInjector::faults_for(LinkClass c) const {
+  switch (c) {
+    case LinkClass::Lan: return plan_.lan;
+    case LinkClass::Access: return plan_.access;
+    case LinkClass::Wan: return plan_.wan;
+  }
+  return plan_.lan;
+}
+
+sim::SimTime FaultInjector::jitter_latency(LinkClass c, sim::SimTime t) {
+  const double j = faults_for(c).latency_jitter;
+  if (j <= 0.0 || t <= 0) return t;
+  return t + static_cast<sim::SimTime>(static_cast<double>(t) * j * rng_.uniform());
+}
+
+sim::SimTime FaultInjector::jitter_serialize(LinkClass c, sim::SimTime t) {
+  const double j = faults_for(c).bandwidth_jitter;
+  if (j <= 0.0 || t <= 0) return t;
+  return t + static_cast<sim::SimTime>(static_cast<double>(t) * j * rng_.uniform());
+}
+
+bool FaultInjector::lose(LinkClass c) {
+  if (c == LinkClass::Wan && !plan_.force_drop.empty()) {
+    const std::uint64_t idx = wan_drop_index_++;
+    if (std::find(plan_.force_drop.begin(), plan_.force_drop.end(), idx) !=
+        plan_.force_drop.end()) {
+      return true;
+    }
+  } else if (c == LinkClass::Wan) {
+    ++wan_drop_index_;
+  }
+  const double p = faults_for(c).loss;
+  if (p <= 0.0) return false;
+  return rng_.uniform() < p;
+}
+
+bool FaultInjector::lose_extra(double p) {
+  if (p <= 0.0) return false;
+  return rng_.uniform() < p;
+}
+
+std::optional<sim::SimTime> FaultInjector::flapped_until(ClusterId from, ClusterId to,
+                                                         sim::SimTime now) const {
+  std::optional<sim::SimTime> until;
+  for (const FlapWindow& w : plan_.flaps) {
+    // Overlapping windows extend the outage to the latest end.
+    if (w.covers(from, to, now) && (!until || w.end > *until)) until = w.end;
+  }
+  return until;
+}
+
+FaultInjector::GatewayState FaultInjector::gateway_state(ClusterId c, sim::SimTime now) const {
+  GatewayState gs;
+  for (const Brownout& b : plan_.brownouts) {
+    if (!b.covers(c, now)) continue;
+    // Overlapping brown-outs compose to the worst of each effect.
+    gs.slow_factor = std::max(gs.slow_factor, b.slow_factor);
+    gs.extra_loss = std::max(gs.extra_loss, b.extra_loss);
+  }
+  return gs;
+}
+
+void FaultInjector::count_drop(LinkClass c, std::size_t bytes, DropCause cause) {
+  switch (cause) {
+    case DropCause::Loss: ++drops_loss_; break;
+    case DropCause::Flap: ++drops_flap_; break;
+    case DropCause::Brownout: ++drops_brownout_; break;
+  }
+  const auto ci = static_cast<std::size_t>(c);
+  ++drops_by_class_[ci];
+  if (h_drop_bytes_[ci]) h_drop_bytes_[ci]->add(bytes);
+}
+
+void FaultInjector::count_flap_hold(sim::SimTime delay) {
+  ++flap_holds_;
+  flap_hold_ns_ += delay;
+}
+
+void FaultInjector::fail(FailureInfo info) {
+  if (failure_) return;  // first failure wins; later give-ups just unwind
+  failure_ = info;
+  failure_eptr_ = std::make_exception_ptr(HardFailure(info));
+  // Fan out: error every parked waiter so all processes unwind. Moving
+  // the list out keeps a callback from re-entering the loop.
+  std::vector<std::function<void()>> cbs = std::move(on_fail_);
+  on_fail_.clear();
+  for (auto& cb : cbs) cb();
+}
+
+std::exception_ptr FaultInjector::failure_eptr() const {
+  assert(failure_eptr_ && "failure_eptr() before fail()");
+  return failure_eptr_;
+}
+
+void FaultInjector::publish_metrics(trace::Metrics& m) const {
+  *m.counter("net/fault.drops") = drops();
+  *m.counter("net/fault.drops.loss") = drops_loss_;
+  *m.counter("net/fault.drops.flap") = drops_flap_;
+  *m.counter("net/fault.drops.brownout") = drops_brownout_;
+  *m.counter("net/fault.drops.lan") = drops_by_class_[0];
+  *m.counter("net/fault.drops.access") = drops_by_class_[1];
+  *m.counter("net/fault.drops.wan") = drops_by_class_[2];
+  *m.counter("net/fault.holds.flap") = flap_holds_;
+  *m.counter("net/fault.hold_ns.flap") = static_cast<std::uint64_t>(flap_hold_ns_);
+  *m.counter("net/fault.brownout.slowed") = brownout_slowed_;
+  *m.counter("net/fault.retries") = retries_;
+  *m.counter("net/fault.timeouts.rpc") = rpc_timeouts_;
+  *m.counter("net/fault.timeouts.seq") = seq_timeouts_;
+  *m.counter("net/fault.dup.rpc_requests") = dup_rpc_requests_;
+  *m.counter("net/fault.dup.rpc_replies") = dup_rpc_replies_;
+  *m.counter("net/fault.dup.seq_requests") = dup_seq_requests_;
+  *m.counter("net/fault.dup.seq_grants") = dup_seq_grants_;
+  *m.counter("net/fault.hard_failures") = failure_ ? 1 : 0;
+}
+
+}  // namespace alb::net

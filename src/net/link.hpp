@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "net/fault.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
 
@@ -17,7 +18,11 @@ namespace alb::net {
 
 class Link {
  public:
-  Link(sim::Engine& eng, LinkParams params) : eng_(&eng), params_(params) {}
+  /// `faults` (nullable) applies the plan's per-class jitter to every
+  /// transfer; `cls` selects which class's knobs govern this link.
+  Link(sim::Engine& eng, LinkParams params, FaultInjector* faults = nullptr,
+       LinkClass cls = LinkClass::Lan)
+      : eng_(&eng), params_(params), faults_(faults), cls_(cls) {}
 
   const LinkParams& params() const { return params_; }
 
@@ -26,12 +31,17 @@ class Link {
   sim::SimTime transfer(std::size_t bytes) {
     sim::SimTime start = std::max(eng_->now(), next_free_);
     sim::SimTime ser = params_.serialize_time(bytes);
+    sim::SimTime lat = params_.latency;
+    if (faults_) {
+      ser = faults_->jitter_serialize(cls_, ser);
+      lat = faults_->jitter_latency(cls_, lat);
+    }
     queueing_time_ += start - eng_->now();
     busy_time_ += ser;
     next_free_ = start + ser;
     ++messages_;
     bytes_ += bytes;
-    return next_free_ + params_.latency;
+    return next_free_ + lat;
   }
 
   /// Earliest time a new transfer could begin serialization.
@@ -47,6 +57,8 @@ class Link {
  private:
   sim::Engine* eng_;
   LinkParams params_;
+  FaultInjector* faults_;
+  LinkClass cls_;
   sim::SimTime next_free_ = 0;
   sim::SimTime busy_time_ = 0;
   sim::SimTime queueing_time_ = 0;

@@ -50,6 +50,12 @@ struct Message {
   std::uint64_t id = 0;
   /// Simulated time the message entered the network.
   sim::SimTime sent_at = 0;
+  /// Fault-injection service class: true for traffic whose sender
+  /// recovers end-to-end (RPC request/reply, sequencer request/grant
+  /// when the recovery protocol is armed) — the only messages loss,
+  /// flaps and brown-outs may discard. Everything else is stream
+  /// traffic: delayed at worst, never dropped. See src/net/fault.hpp.
+  bool droppable = false;
   std::shared_ptr<const void> payload;
 };
 

@@ -4,7 +4,8 @@
 
 namespace alb::net {
 
-Network::Network(sim::Engine& eng, const TopologyConfig& cfg)
+Network::Network(sim::Engine& eng, const TopologyConfig& cfg, const FaultPlan& faults,
+                 std::uint64_t fault_seed)
     : eng_(&eng), cfg_(cfg), topo_(cfg) {
   assert(cfg.clusters >= 1);
   assert(cfg.nodes_per_cluster >= 1);
@@ -12,33 +13,51 @@ Network::Network(sim::Engine& eng, const TopologyConfig& cfg)
   const int compute = topo_.num_compute();
   const int clusters = topo_.clusters();
 
+  rec_ = eng.tracer();
+  trace::Session* session = eng.trace_session();
+  if (session) {
+    h_wan_bytes_ = session->metrics().histogram("net/wan.msg_bytes");
+    h_wan_queue_ = session->metrics().histogram("net/wan.queue_ns");
+  }
+  // A disabled plan builds no injector: every fault check below is then
+  // one null-pointer test and the run is byte-identical to a plan-free
+  // network (pinned by tests/net/fault_test.cpp and the trace goldens).
+  if (faults.enabled) {
+    faults_ = std::make_unique<FaultInjector>(faults, fault_seed,
+                                              session ? &session->metrics() : nullptr);
+  }
+  FaultInjector* fi = faults_.get();
+
   endpoints_.reserve(static_cast<std::size_t>(nodes));
   for (int n = 0; n < nodes; ++n) endpoints_.push_back(std::make_unique<Endpoint>(eng));
 
   lan_links_.reserve(static_cast<std::size_t>(compute));
   access_links_.reserve(static_cast<std::size_t>(compute));
   for (int n = 0; n < compute; ++n) {
-    lan_links_.push_back(std::make_unique<Link>(eng, cfg.lan));
-    access_links_.push_back(std::make_unique<Link>(eng, cfg.access));
+    lan_links_.push_back(std::make_unique<Link>(eng, cfg.lan, fi, LinkClass::Lan));
+    access_links_.push_back(std::make_unique<Link>(eng, cfg.access, fi, LinkClass::Access));
   }
   wan_links_.resize(static_cast<std::size_t>(clusters) * static_cast<std::size_t>(clusters));
   for (int a = 0; a < clusters; ++a) {
     for (int b = 0; b < clusters; ++b) {
       if (a != b) {
         wan_links_[static_cast<std::size_t>(a) * clusters + b] =
-            std::make_unique<Link>(eng, cfg.wan);
+            std::make_unique<Link>(eng, cfg.wan, fi, LinkClass::Wan);
       }
     }
   }
   for (int c = 0; c < clusters; ++c) {
-    delivery_links_.push_back(std::make_unique<Link>(eng, cfg.access));
-    bcast_links_.push_back(std::make_unique<Link>(eng, cfg.lan_broadcast));
+    delivery_links_.push_back(std::make_unique<Link>(eng, cfg.access, fi, LinkClass::Access));
+    bcast_links_.push_back(std::make_unique<Link>(eng, cfg.lan_broadcast, fi, LinkClass::Lan));
   }
+}
 
-  rec_ = eng.tracer();
-  if (trace::Session* s = eng.trace_session()) {
-    h_wan_bytes_ = s->metrics().histogram("net/wan.msg_bytes");
-    h_wan_queue_ = s->metrics().histogram("net/wan.queue_ns");
+void Network::drop(const Message& m, LinkClass cls, FaultInjector::DropCause cause,
+                   NodeId where, bool close_wan_span) {
+  faults_->count_drop(cls, m.bytes, cause);
+  if (rec_) {
+    rec_->instant(trace::Category::Net, "net.fault.drop", where, m.id, m.bytes);
+    if (close_wan_span) rec_->end(trace::Category::Net, "net.wan", where, m.id, m.bytes);
   }
 }
 
@@ -82,12 +101,56 @@ void Network::run_hop(HopPlan plan) {
       }
       // Store-and-forward: the gateway spends its per-message forwarding
       // overhead, then the message queues on the WAN circuit.
+      sim::SimTime overhead = cfg_.gateway_forward_overhead;
+      if (faults_) {
+        const FaultInjector::GatewayState gs =
+            faults_->gateway_state(plan.from, eng_->now());
+        if (plan.msg.droppable && gs.extra_loss > 0.0 && faults_->lose_extra(gs.extra_loss)) {
+          drop(plan.msg, LinkClass::Wan, FaultInjector::DropCause::Brownout,
+               topo_.gateway_of(plan.from), /*close_wan_span=*/true);
+          break;
+        }
+        if (gs.slow_factor > 1.0) {
+          overhead = static_cast<sim::SimTime>(static_cast<double>(overhead) * gs.slow_factor);
+          faults_->count_brownout_slow();
+        }
+      }
       plan.stage = HopStage::kWanTransfer;
-      schedule_hop_after(cfg_.gateway_forward_overhead, std::move(plan));
+      schedule_hop_after(overhead, std::move(plan));
       break;
     }
     case HopStage::kWanTransfer: {
       Link& wan = wan_link(plan.from, plan.to);
+      if (faults_) {
+        if (const std::optional<sim::SimTime> until =
+                faults_->flapped_until(plan.from, plan.to, eng_->now())) {
+          if (plan.msg.droppable) {
+            // A flapped circuit swallows datagram-class traffic.
+            drop(plan.msg, LinkClass::Wan, FaultInjector::DropCause::Flap,
+                 topo_.gateway_of(plan.from), /*close_wan_span=*/true);
+            break;
+          }
+          // Stream traffic is held at the gateway and re-attempts the
+          // circuit when the window closes (possibly hitting the next
+          // window — the reschedule loops naturally).
+          faults_->count_flap_hold(*until - eng_->now());
+          if (rec_) {
+            rec_->instant(trace::Category::Net, "net.fault.flap_hold",
+                          topo_.gateway_of(plan.from), plan.msg.id, plan.msg.bytes);
+          }
+          schedule_hop_at(*until, std::move(plan));
+          break;
+        }
+        if (plan.msg.droppable && faults_->lose(LinkClass::Wan)) {
+          // The message got onto the circuit and vanished: the bandwidth
+          // is consumed (and the link counters see the attempt), but
+          // nothing arrives at the remote gateway.
+          wan.transfer(plan.msg.bytes);
+          drop(plan.msg, LinkClass::Wan, FaultInjector::DropCause::Loss,
+               topo_.gateway_of(plan.from), /*close_wan_span=*/true);
+          break;
+        }
+      }
       if (h_wan_bytes_) {
         h_wan_bytes_->add(plan.msg.bytes);
         const sim::SimTime wait = wan.busy_until() - eng_->now();
@@ -107,11 +170,30 @@ void Network::run_hop(HopPlan plan) {
         rec_->instant(trace::Category::Net, "net.hop.gw_out", topo_.gateway_of(plan.to),
                       plan.msg.id, plan.msg.bytes);
       }
+      sim::SimTime overhead = cfg_.gateway_forward_overhead;
+      if (faults_) {
+        const FaultInjector::GatewayState gs = faults_->gateway_state(plan.to, eng_->now());
+        if (plan.msg.droppable && gs.extra_loss > 0.0 && faults_->lose_extra(gs.extra_loss)) {
+          drop(plan.msg, LinkClass::Wan, FaultInjector::DropCause::Brownout,
+               topo_.gateway_of(plan.to), /*close_wan_span=*/true);
+          break;
+        }
+        if (gs.slow_factor > 1.0) {
+          overhead = static_cast<sim::SimTime>(static_cast<double>(overhead) * gs.slow_factor);
+          faults_->count_brownout_slow();
+        }
+      }
       plan.stage = HopStage::kClusterDelivery;
-      schedule_hop_after(cfg_.gateway_forward_overhead, std::move(plan));
+      schedule_hop_after(overhead, std::move(plan));
       break;
     }
     case HopStage::kClusterDelivery: {
+      if (faults_ && plan.msg.droppable && faults_->lose(LinkClass::Access)) {
+        // Models loss on the gateway -> destination access segment.
+        drop(plan.msg, LinkClass::Access, FaultInjector::DropCause::Loss,
+             topo_.gateway_of(plan.to), /*close_wan_span=*/true);
+        break;
+      }
       if (rec_) {
         rec_->end(trace::Category::Net, "net.wan", topo_.gateway_of(plan.to), plan.msg.id,
                   plan.msg.bytes);
@@ -156,9 +238,14 @@ std::uint64_t Network::send(Message m) {
     stats_.record_intra(m.kind, m.bytes);
     // Gateways reach their own cluster over the delivery (FE) link;
     // compute nodes use their Myrinet egress.
-    Link& l = topo_.is_gateway(m.src) ? delivery_link(sc)
-                                      : lan_link(m.src);
+    const bool gw = topo_.is_gateway(m.src);
+    Link& l = gw ? delivery_link(sc) : lan_link(m.src);
     const sim::SimTime t = l.transfer(m.bytes);
+    if (faults_ && m.droppable && faults_->lose(gw ? LinkClass::Access : LinkClass::Lan)) {
+      drop(m, gw ? LinkClass::Access : LinkClass::Lan, FaultInjector::DropCause::Loss, m.src,
+           /*close_wan_span=*/false);
+      return id;
+    }
     deliver_at(t, std::move(m));
     return id;
   }
@@ -173,6 +260,12 @@ std::uint64_t Network::send(Message m) {
     return id;
   }
   const sim::SimTime at_gw = access_link(plan.msg.src).transfer(plan.msg.bytes);
+  if (faults_ && plan.msg.droppable && faults_->lose(LinkClass::Access)) {
+    // Lost on the node -> gateway access segment.
+    drop(plan.msg, LinkClass::Access, FaultInjector::DropCause::Loss, plan.msg.src,
+         /*close_wan_span=*/true);
+    return id;
+  }
   schedule_hop_at(at_gw, std::move(plan));
   return id;
 }
@@ -265,6 +358,8 @@ void Network::publish_metrics(trace::Metrics& m) const {
       sum_links(wan_links_, [](const Link& l) { return l.busy_time(); });
   *m.counter("net/link.wan.queue_ns") =
       sum_links(wan_links_, [](const Link& l) { return l.queueing_time(); });
+
+  if (faults_) faults_->publish_metrics(m);
 }
 
 }  // namespace alb::net

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/endpoint.hpp"
+#include "net/fault.hpp"
 #include "net/link.hpp"
 #include "net/message.hpp"
 #include "net/topology.hpp"
@@ -30,11 +31,18 @@ namespace alb::net {
 
 class Network {
  public:
-  Network(sim::Engine& eng, const TopologyConfig& cfg);
+  /// `faults` + `fault_seed` arm deterministic fault injection (see
+  /// src/net/fault.hpp). The defaults construct no injector at all, so
+  /// existing call sites are byte-identical to the pre-fault network.
+  Network(sim::Engine& eng, const TopologyConfig& cfg, const FaultPlan& faults = {},
+          std::uint64_t fault_seed = 0);
 
   const Topology& topology() const { return topo_; }
   const TopologyConfig& config() const { return cfg_; }
   sim::Engine& engine() { return *eng_; }
+
+  /// The fault injector, or nullptr when the plan is disabled.
+  FaultInjector* faults() { return faults_.get(); }
 
   Endpoint& endpoint(NodeId n) { return *endpoints_[static_cast<std::size_t>(n)]; }
 
@@ -91,11 +99,17 @@ class Network {
   void schedule_hop_at(sim::SimTime t, HopPlan plan);
   void schedule_hop_after(sim::SimTime delay, HopPlan plan);
   void deliver_at(sim::SimTime t, Message m);
+  /// Discards a message: accounts the drop on the injector, emits the
+  /// "net.fault.drop" instant, and closes the message's open "net.wan"
+  /// span when it was on the intercluster path.
+  void drop(const Message& m, LinkClass cls, FaultInjector::DropCause cause, NodeId where,
+            bool close_wan_span);
 
   sim::Engine* eng_;
   TopologyConfig cfg_;
   Topology topo_;
   TrafficStats stats_;
+  std::unique_ptr<FaultInjector> faults_;
   std::uint64_t next_id_ = 1;
 
   // Observability (see src/trace/): the recorder pointer guards every

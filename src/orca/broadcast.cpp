@@ -54,6 +54,9 @@ void BroadcastEngine::disseminate(net::NodeId node, std::size_t bytes, int tag,
 }
 
 sim::Task<void> BroadcastEngine::broadcast(net::NodeId node, std::size_t bytes, BcastOp op) {
+  if (net::FaultInjector* f = net_->faults(); f != nullptr && f->failed()) {
+    std::rethrow_exception(f->failure_eptr());
+  }
   // Span 1: the get-sequence stall (a WAN roundtrip for a remote
   // sequencer — the cost the migrating sequencer optimizes away).
   trace::Recorder* rec = net_->engine().tracer();
@@ -114,6 +117,13 @@ void BroadcastEngine::drain(net::NodeId node) {
 void BroadcastEngine::apply_now(net::NodeId node, const BcastOp& op) {
   ++applied_count_[static_cast<std::size_t>(node)];
   apply_op_(node, op);
+}
+
+void BroadcastEngine::fail_pending(std::exception_ptr e) {
+  for (auto& [key, fut] : local_apply_waiters_) {
+    if (!fut.ready()) fut.set_error(e);
+  }
+  local_apply_waiters_.clear();
 }
 
 }  // namespace alb::orca

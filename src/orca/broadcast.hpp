@@ -62,6 +62,10 @@ class BroadcastEngine {
     return n;
   }
 
+  /// Hard-failure fan-out: errors every sender waiting for its own op's
+  /// in-order local apply so the caller unwinds (see src/net/fault.hpp).
+  void fail_pending(std::exception_ptr e);
+
  private:
   struct Shipment {
     std::uint64_t seq;

@@ -5,6 +5,8 @@
 namespace alb::orca {
 
 Runtime::Runtime(net::Network& net, Config cfg) : net_(&net) {
+  faults_ = net.faults();
+  recovery_on_ = faults_ != nullptr && faults_->recovery_active();
   SequencerKind kind = cfg.sequencer.value_or(net.topology().clusters() == 1
                                                   ? SequencerKind::Centralized
                                                   : SequencerKind::Rotating);
@@ -13,6 +15,9 @@ Runtime::Runtime(net::Network& net, Config cfg) : net_(&net) {
       net, *seq_, [this](net::NodeId node, const BcastOp& op) { apply_bcast_op(node, op); });
   barrier_local_gen_.assign(static_cast<std::size_t>(nprocs()), 0);
   install_handlers();
+  if (recovery_on_) {
+    faults_->on_fail([this]() { fail_all_waiters(); });
+  }
 }
 
 void Runtime::install_handlers() {
@@ -24,8 +29,19 @@ void Runtime::install_handlers() {
     net_->endpoint(n).set_handler(kTagRpcReply, [this](net::Message m) {
       const auto& rep = net::payload_as<RpcReply>(m);
       auto it = pending_rpcs_.find(rep.call_id);
-      assert(it != pending_rpcs_.end());
-      it->second.set_value(rep.result);
+      if (recovery_on_) {
+        // A reply for a call no longer pending (already answered, or
+        // retired by the failure fan-out), or one whose current attempt
+        // timed out before this — late — reply arrived. Either way the
+        // caller has moved on: suppress the duplicate.
+        if (it == pending_rpcs_.end() || it->second.ready()) {
+          faults_->note_dup_rpc_reply();
+          return;
+        }
+      } else {
+        assert(it != pending_rpcs_.end());
+      }
+      it->second.set_value(RpcWait{rep.result, false});
       pending_rpcs_.erase(it);
     });
     net_->endpoint(n).set_handler(kTagBarrierRelease, [this, n](net::Message m) {
@@ -72,29 +88,71 @@ sim::Task<std::shared_ptr<const void>> Runtime::rpc(
     if (service_time > 0) co_await engine().delay(service_time);
     co_return op();
   }
+  guard_failed();
   const std::uint64_t id = next_call_id_++;
-  sim::Future<std::shared_ptr<const void>> fut(engine());
-  pending_rpcs_.emplace(id, fut);
 
   trace::Recorder* rec = engine().tracer();
   if (rec) rec->begin(trace::Category::Orca, "orca.rpc", caller, id, request_bytes);
 
-  net::Message m;
-  m.src = caller;
-  m.dst = target;
-  m.bytes = request_bytes;
-  m.kind = net::MsgKind::Rpc;
-  m.tag = kTagRpcRequest;
   RpcRequest req;
   req.call_id = id;
   req.caller = caller;
   req.reply_bytes = reply_bytes;
   req.service_time = service_time;
   req.op = std::move(op);
-  m.payload = net::make_payload<RpcRequest>(std::move(req));
-  net_->send(std::move(m));
+  auto payload = net::make_payload<RpcRequest>(std::move(req));
 
-  std::shared_ptr<const void> result = co_await fut;
+  std::shared_ptr<const void> result;
+  if (!recovery_on_) {
+    sim::Future<RpcWait> fut(engine());
+    pending_rpcs_.emplace(id, fut);
+    send_rpc_request(caller, target, request_bytes, std::move(payload));
+    result = (co_await fut).result;
+  } else {
+    // Retry loop: resend the *same* payload (same call_id — the dedup
+    // key at the server) with a backed-off timeout per attempt, until a
+    // reply lands or the retry budget is exhausted. Inlined rather than
+    // factored into a helper coroutine: an extra Task would add event-
+    // queue traffic and perturb the no-fault trace goldens.
+    const net::RecoveryParams& rp = faults_->plan().recovery;
+    sim::SimTime timeout = rp.rpc_timeout;
+    bool retry_span = false;
+    for (int attempt = 1;; ++attempt) {
+      sim::Future<RpcWait> fut(engine());
+      pending_rpcs_.insert_or_assign(id, fut);
+      send_rpc_request(caller, target, request_bytes, payload);
+      arm_rpc_timer(fut, timeout);
+      RpcWait w = co_await fut;
+      if (!w.timed_out) {
+        result = std::move(w.result);
+        break;
+      }
+      faults_->note_rpc_timeout();
+      if (rec) {
+        rec->instant(trace::Category::Orca, "orca.rpc.timeout", caller, id,
+                     static_cast<std::uint64_t>(attempt));
+        if (!retry_span) {
+          retry_span = true;
+          rec->begin(trace::Category::Orca, "orca.rpc.retry", caller, id);
+        }
+      }
+      if (faults_->failed() || attempt >= rp.max_attempts) {
+        pending_rpcs_.erase(id);
+        if (!faults_->failed()) {
+          faults_->fail(
+              net::FailureInfo{net::FailureInfo::Kind::RpcTimeout, caller, id, attempt});
+        }
+        if (rec) {
+          if (retry_span) rec->end(trace::Category::Orca, "orca.rpc.retry", caller, id);
+          rec->end(trace::Category::Orca, "orca.rpc", caller, id, 0);
+        }
+        std::rethrow_exception(faults_->failure_eptr());
+      }
+      faults_->note_retry();
+      timeout = static_cast<sim::SimTime>(static_cast<double>(timeout) * rp.backoff);
+    }
+    if (rec && retry_span) rec->end(trace::Category::Orca, "orca.rpc.retry", caller, id);
+  }
   if (rec) rec->end(trace::Category::Orca, "orca.rpc", caller, id, reply_bytes);
   co_return result;
 }
@@ -105,51 +163,175 @@ sim::Task<std::shared_ptr<const void>> Runtime::rpc_blocking(
   if (caller == target) {
     co_return co_await op();
   }
+  guard_failed();
   const std::uint64_t id = next_call_id_++;
-  sim::Future<std::shared_ptr<const void>> fut(engine());
-  pending_rpcs_.emplace(id, fut);
 
   trace::Recorder* rec = engine().tracer();
   if (rec) rec->begin(trace::Category::Orca, "orca.rpc", caller, id, request_bytes);
 
-  net::Message m;
-  m.src = caller;
-  m.dst = target;
-  m.bytes = request_bytes;
-  m.kind = net::MsgKind::Rpc;
-  m.tag = kTagRpcRequest;
   RpcRequest req;
   req.call_id = id;
   req.caller = caller;
   req.reply_bytes = reply_bytes;
   req.service_time = 0;
   req.op_blocking = std::move(op);
-  m.payload = net::make_payload<RpcRequest>(std::move(req));
-  net_->send(std::move(m));
+  auto payload = net::make_payload<RpcRequest>(std::move(req));
 
-  std::shared_ptr<const void> result = co_await fut;
+  std::shared_ptr<const void> result;
+  if (!recovery_on_) {
+    sim::Future<RpcWait> fut(engine());
+    pending_rpcs_.emplace(id, fut);
+    send_rpc_request(caller, target, request_bytes, std::move(payload));
+    result = (co_await fut).result;
+  } else {
+    // Same inlined retry loop as rpc() — see the comment there.
+    const net::RecoveryParams& rp = faults_->plan().recovery;
+    sim::SimTime timeout = rp.rpc_timeout;
+    bool retry_span = false;
+    for (int attempt = 1;; ++attempt) {
+      sim::Future<RpcWait> fut(engine());
+      pending_rpcs_.insert_or_assign(id, fut);
+      send_rpc_request(caller, target, request_bytes, payload);
+      arm_rpc_timer(fut, timeout);
+      RpcWait w = co_await fut;
+      if (!w.timed_out) {
+        result = std::move(w.result);
+        break;
+      }
+      faults_->note_rpc_timeout();
+      if (rec) {
+        rec->instant(trace::Category::Orca, "orca.rpc.timeout", caller, id,
+                     static_cast<std::uint64_t>(attempt));
+        if (!retry_span) {
+          retry_span = true;
+          rec->begin(trace::Category::Orca, "orca.rpc.retry", caller, id);
+        }
+      }
+      if (faults_->failed() || attempt >= rp.max_attempts) {
+        pending_rpcs_.erase(id);
+        if (!faults_->failed()) {
+          faults_->fail(
+              net::FailureInfo{net::FailureInfo::Kind::RpcTimeout, caller, id, attempt});
+        }
+        if (rec) {
+          if (retry_span) rec->end(trace::Category::Orca, "orca.rpc.retry", caller, id);
+          rec->end(trace::Category::Orca, "orca.rpc", caller, id, 0);
+        }
+        std::rethrow_exception(faults_->failure_eptr());
+      }
+      faults_->note_retry();
+      timeout = static_cast<sim::SimTime>(static_cast<double>(timeout) * rp.backoff);
+    }
+    if (rec && retry_span) rec->end(trace::Category::Orca, "orca.rpc.retry", caller, id);
+  }
   if (rec) rec->end(trace::Category::Orca, "orca.rpc", caller, id, reply_bytes);
   co_return result;
 }
 
+void Runtime::guard_failed() const {
+  if (faults_ != nullptr && faults_->failed()) std::rethrow_exception(faults_->failure_eptr());
+}
+
+void Runtime::send_rpc_request(net::NodeId caller, net::NodeId target,
+                               std::size_t request_bytes,
+                               std::shared_ptr<const void> payload) {
+  net::Message m;
+  m.src = caller;
+  m.dst = target;
+  m.bytes = request_bytes;
+  m.kind = net::MsgKind::Rpc;
+  m.tag = kTagRpcRequest;
+  m.droppable = recovery_on_;
+  m.payload = std::move(payload);
+  net_->send(std::move(m));
+}
+
+void Runtime::arm_rpc_timer(const sim::Future<RpcWait>& fut, sim::SimTime timeout) {
+  auto timer = [f = fut]() mutable {
+    if (!f.ready()) f.set_value(RpcWait{nullptr, true});
+  };
+  static_assert(sim::UniqueFunction::stores_inline<decltype(timer)>,
+                "RPC timeout timer must fit the event queue's inline storage");
+  engine().schedule_after(timeout, std::move(timer));
+}
+
+void Runtime::fail_all_waiters() {
+  const std::exception_ptr e = faults_->failure_eptr();
+  for (auto& [id, fut] : pending_rpcs_) {
+    if (!fut.ready()) fut.set_error(e);
+  }
+  pending_rpcs_.clear();
+  for (auto& [key, fut] : barrier_waiters_) {
+    if (!fut.ready()) fut.set_error(e);
+  }
+  barrier_waiters_.clear();
+  for (auto& ws : waiters_) {
+    for (ObjectWaiter& w : ws) {
+      if (!w.fut.ready()) w.fut.set_error(e);
+    }
+    ws.clear();
+  }
+  seq_->fail_pending(e);
+  bcast_->fail_pending(e);
+  const int nodes = net_->topology().num_nodes();
+  for (int n = 0; n < nodes; ++n) net_->endpoint(n).fail_pending(e);
+}
+
 void Runtime::send_reply(net::NodeId at, net::NodeId caller, std::uint64_t call_id,
                          std::size_t reply_bytes, std::shared_ptr<const void> result) {
+  if (recovery_on_) {
+    // Cache the reply so a duplicate (retried) request re-receives it
+    // instead of re-executing the operation.
+    ServedRpc& s = served_rpcs_[call_id];
+    s.result = result;
+    s.reply_bytes = reply_bytes;
+    s.done = true;
+  }
   net::Message m;
   m.src = at;
   m.dst = caller;
   m.bytes = reply_bytes;
   m.kind = net::MsgKind::RpcReply;
   m.tag = kTagRpcReply;
+  m.droppable = recovery_on_;
   m.payload = net::make_payload<RpcReply>(RpcReply{call_id, std::move(result)});
   net_->send(std::move(m));
 }
 
 sim::Task<void> Runtime::serve_blocking(net::NodeId at, RpcRequest req) {
-  std::shared_ptr<const void> result = co_await req.op_blocking();
+  std::shared_ptr<const void> result;
+  try {
+    result = co_await req.op_blocking();
+  } catch (const net::HardFailure&) {
+    // The run hard-failed while this handler was blocked: the caller has
+    // already been errored by the fan-out, so there is nothing to reply
+    // to — and letting the exception escape a detached coroutine would
+    // abort. Unwind quietly.
+    co_return;
+  }
   send_reply(at, req.caller, req.call_id, req.reply_bytes, std::move(result));
 }
 
 void Runtime::handle_rpc_request(net::NodeId at, RpcRequest req) {
+  if (recovery_on_) {
+    auto it = served_rpcs_.find(req.call_id);
+    if (it != served_rpcs_.end()) {
+      // Duplicate of a request this node already accepted (its reply
+      // was lost, or the original is still executing). Never re-run the
+      // operation — RPC handlers have side effects (job-queue pops,
+      // cache fills). Resend the cached reply if one exists; otherwise
+      // the in-flight execution will reply when it completes.
+      faults_->note_dup_rpc_request();
+      if (trace::Recorder* rec = engine().tracer()) {
+        rec->instant(trace::Category::Orca, "orca.rpc.dup", at, req.call_id);
+      }
+      if (it->second.done) {
+        send_reply(at, req.caller, req.call_id, it->second.reply_bytes, it->second.result);
+      }
+      return;
+    }
+    served_rpcs_.emplace(req.call_id, ServedRpc{});
+  }
   if (trace::Recorder* rec = engine().tracer()) {
     rec->instant(trace::Category::Orca, "orca.rpc.serve", at, req.call_id);
   }
@@ -183,6 +365,7 @@ void Runtime::send_data(const Proc& from, int dst_rank, int tag, std::size_t byt
 
 sim::Task<void> Runtime::barrier(Proc& p) {
   if (nprocs() == 1) co_return;
+  guard_failed();
   const std::uint64_t gen = barrier_local_gen_[static_cast<std::size_t>(p.rank)]++;
   if (trace::Recorder* rec = engine().tracer()) {
     rec->instant(trace::Category::Orca, "orca.barrier.arrive", p.node, gen);
@@ -257,14 +440,24 @@ void Runtime::spawn_all(ProcMain main) {
 }
 
 sim::Task<void> Runtime::run_proc(ProcMain main, Proc& p) {
-  co_await main(p);
+  try {
+    co_await main(p);
+  } catch (const net::HardFailure&) {
+    // Recovery gave up (retry budget exhausted somewhere). The failure
+    // is recorded on the injector — the app harness surfaces it as a
+    // typed AppResult error — and the process unwinds cooperatively so
+    // its coroutine frame is reclaimed instead of leaking. Letting the
+    // exception escape this detached coroutine would abort the run.
+    ++failed_procs_;
+  }
   last_finish_ = std::max(last_finish_, engine().now());
   ++finished_;
 }
 
 sim::SimTime Runtime::run_all() {
   engine().run();
-  assert(finished_ == nprocs() && "some processes never finished (deadlock?)");
+  assert((finished_ == nprocs() || (faults_ != nullptr && faults_->failed())) &&
+         "some processes never finished (deadlock?)");
   return last_finish_;
 }
 
@@ -273,6 +466,7 @@ void Runtime::publish_metrics(trace::Metrics& m) const {
   *m.counter("orca/bcast.applied") = bcast_->applied_total();
   *m.counter("orca/seq.issued") = seq_->issued();
   *m.counter("orca/barrier.rounds") = barrier_generation_;
+  *m.counter("orca/fault.failed_procs") = static_cast<std::uint64_t>(failed_procs_);
 }
 
 }  // namespace alb::orca

@@ -142,6 +142,22 @@ class Runtime {
     sim::Future<> fut;
     net::NodeId node;
   };
+  /// What an rpc() caller resumes with: a reply, or a local timeout
+  /// fired by the recovery machinery (see src/net/fault.hpp).
+  struct RpcWait {
+    std::shared_ptr<const void> result;
+    bool timed_out = false;
+  };
+  /// Server-side duplicate suppression (recovery mode only): one entry
+  /// per call_id ever accepted at this runtime. `done` distinguishes a
+  /// request whose execution is still in flight (blocking handler or
+  /// service-time delay) — duplicates of those wait for the original
+  /// reply — from one whose cached reply can be resent immediately.
+  struct ServedRpc {
+    std::shared_ptr<const void> result;
+    std::size_t reply_bytes = 0;
+    bool done = false;
+  };
 
   void install_handlers();
   void handle_rpc_request(net::NodeId at, RpcRequest req);
@@ -151,7 +167,20 @@ class Runtime {
   void release_barrier();
   sim::Task<void> run_proc(ProcMain main, Proc& p);
 
+  // --- recovery helpers (no-ops unless the fault plan arms recovery) --
+  void guard_failed() const;
+  void send_rpc_request(net::NodeId caller, net::NodeId target, std::size_t request_bytes,
+                        std::shared_ptr<const void> payload);
+  void arm_rpc_timer(const sim::Future<RpcWait>& fut, sim::SimTime timeout);
+  /// Hard-failure fan-out: errors every parked future (pending RPCs,
+  /// barrier waiters, object waiters), poisons every mailbox, and
+  /// forwards to the sequencer and broadcast engine, so all suspended
+  /// processes unwind cooperatively instead of leaking their frames.
+  void fail_all_waiters();
+
   net::Network* net_;
+  net::FaultInjector* faults_ = nullptr;
+  bool recovery_on_ = false;
   std::unique_ptr<Sequencer> seq_;
   std::unique_ptr<BroadcastEngine> bcast_;
 
@@ -159,7 +188,8 @@ class Runtime {
   std::vector<std::vector<ObjectWaiter>> waiters_;  // indexed by object id
 
   std::uint64_t next_call_id_ = 1;
-  std::map<std::uint64_t, sim::Future<std::shared_ptr<const void>>> pending_rpcs_;
+  std::map<std::uint64_t, sim::Future<RpcWait>> pending_rpcs_;
+  std::map<std::uint64_t, ServedRpc> served_rpcs_;  // recovery mode only
 
   // Barrier service state (root = rank 0).
   int barrier_arrivals_ = 0;
@@ -170,6 +200,7 @@ class Runtime {
   std::vector<std::unique_ptr<Proc>> procs_;
   sim::SimTime last_finish_ = 0;
   int finished_ = 0;
+  int failed_procs_ = 0;  // processes unwound by a hard failure
 };
 
 }  // namespace alb::orca

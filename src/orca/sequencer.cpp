@@ -11,16 +11,26 @@ namespace alb::orca {
 
 namespace {
 
-/// A pending get-sequence call: who asked, and the future its caller is
-/// suspended on. The future is shared simulation state; the *timing* of
-/// its resolution is always driven by the arrival of a grant message.
+/// What a get-sequence caller resumes with: either a granted sequence
+/// number or a local timeout fired by the retry machinery.
+struct SeqWait {
+  std::uint64_t seq = 0;
+  bool timed_out = false;
+};
+
+/// A pending get-sequence call: who asked, which attempt-independent
+/// request id it carries (0 outside recovery mode — retries resend the
+/// same id so the sequencer can deduplicate), and the future its caller
+/// is suspended on. The future is shared simulation state; the *timing*
+/// of its resolution is always driven by the arrival of a grant message.
 struct SeqRequest {
   net::NodeId requester;
-  sim::Future<std::uint64_t> fut;
+  std::uint64_t req_id;
+  sim::Future<SeqWait> fut;
 };
 
 struct SeqGrant {
-  sim::Future<std::uint64_t> fut;
+  sim::Future<SeqWait> fut;
   std::uint64_t seq;
 };
 
@@ -30,7 +40,10 @@ struct TokenKick {
 
 class SequencerBase : public Sequencer {
  public:
-  explicit SequencerBase(net::Network& net) : net_(&net) {}
+  explicit SequencerBase(net::Network& net)
+      : net_(&net),
+        faults_(net.faults()),
+        recovery_on_(faults_ != nullptr && faults_->recovery_active()) {}
 
   std::uint64_t issued() const override { return counter_; }
 
@@ -38,51 +51,141 @@ class SequencerBase : public Sequencer {
   net::Network& net() { return *net_; }
   sim::Engine& eng() { return net_->engine(); }
   const net::Topology& topo() const { return net_->topology(); }
+  net::FaultInjector* faults() { return faults_; }
+  bool recovery_on() const { return recovery_on_; }
 
   std::uint64_t take_seq() { return counter_++; }
+  std::uint64_t next_req_id() { return next_req_id_++; }
+
+  /// Entry guard: once the run hard-failed, new get-sequence calls
+  /// rethrow immediately instead of joining a dead protocol.
+  void guard_failed() {
+    if (faults_ != nullptr && faults_->failed()) std::rethrow_exception(faults_->failure_eptr());
+  }
 
   void send_control(net::NodeId from, net::NodeId to, int tag,
-                    std::shared_ptr<const void> payload, std::size_t bytes = kControlBytes) {
+                    std::shared_ptr<const void> payload, std::size_t bytes = kControlBytes,
+                    bool droppable = false) {
     net::Message m;
     m.src = from;
     m.dst = to;
     m.bytes = bytes;
     m.kind = net::MsgKind::Control;
     m.tag = tag;
+    m.droppable = droppable;
     m.payload = std::move(payload);
     net_->send(std::move(m));
   }
 
   /// Grants `seq` to a request: resolves locally if the requester is
   /// `grantor` itself, otherwise ships a grant message whose arrival
-  /// resolves the caller's future.
+  /// resolves the caller's future. In recovery mode the grant is
+  /// remembered so duplicate (retried) requests re-receive the same
+  /// number, and grant messages are droppable.
   void grant(net::NodeId grantor, SeqRequest req, std::uint64_t seq) {
+    if (recovery_on_) granted_[req.req_id] = seq;
     if (trace::Recorder* rec = eng().tracer()) {
       // Ordering decision: `seq` assigned at `grantor` for `requester`.
       rec->instant(trace::Category::Orca, "orca.seq.issue", grantor, seq,
                    static_cast<std::uint64_t>(req.requester));
     }
+    deliver_grant(grantor, std::move(req), seq);
+  }
+
+  /// Ships (or locally resolves) a grant without issuing a new number.
+  void deliver_grant(net::NodeId grantor, SeqRequest req, std::uint64_t seq) {
     if (req.requester == grantor) {
-      req.fut.set_value(seq);
+      // A local grant whose attempt already timed out is dropped on the
+      // floor; the retry hits the granted_ cache and re-receives `seq`.
+      if (!req.fut.ready()) req.fut.set_value(SeqWait{seq, false});
       return;
     }
     send_control(grantor, req.requester, kTagSeqReply,
-                 net::make_payload<SeqGrant>(SeqGrant{req.fut, seq}));
+                 net::make_payload<SeqGrant>(SeqGrant{req.fut, seq}), kControlBytes,
+                 /*droppable=*/recovery_on_);
+  }
+
+  /// Duplicate suppression at the serving side: a request id that was
+  /// already granted gets the *same* sequence number re-sent instead of
+  /// a fresh one (a second number would double-apply the broadcast).
+  bool regrant_if_served(net::NodeId grantor, SeqRequest& req) {
+    if (!recovery_on_) return false;
+    auto it = granted_.find(req.req_id);
+    if (it == granted_.end()) return false;
+    faults_->note_dup_seq_request();
+    if (trace::Recorder* rec = eng().tracer()) {
+      rec->instant(trace::Category::Orca, "orca.seq.regrant", grantor, it->second,
+                   static_cast<std::uint64_t>(req.requester));
+    }
+    deliver_grant(grantor, std::move(req), it->second);
+    return true;
+  }
+
+  /// Sends one droppable remote request attempt and arms its timeout.
+  sim::Future<SeqWait> send_attempt(net::NodeId node, std::uint64_t rid, net::NodeId target,
+                                    sim::SimTime timeout) {
+    sim::Future<SeqWait> fut(eng());
+    send_control(node, target, kTagSeqRequest,
+                 net::make_payload<SeqRequest>(SeqRequest{node, rid, fut}), kControlBytes,
+                 /*droppable=*/true);
+    arm_timer(fut, timeout);
+    return fut;
+  }
+
+  void arm_timer(const sim::Future<SeqWait>& fut, sim::SimTime timeout) {
+    auto timer = [f = fut]() mutable {
+      if (!f.ready()) f.set_value(SeqWait{0, true});
+    };
+    static_assert(sim::UniqueFunction::stores_inline<decltype(timer)>,
+                  "sequencer timeout timer must fit the event queue's inline storage");
+    eng().schedule_after(timeout, std::move(timer));
+  }
+
+  /// Bookkeeping after one timed-out attempt. Throws HardFailure when
+  /// the retry budget is exhausted (or the run failed elsewhere while
+  /// this call was suspended); otherwise returns the backed-off timeout
+  /// for the next attempt.
+  sim::SimTime after_timeout(net::NodeId node, std::uint64_t rid, int attempt,
+                             sim::SimTime timeout) {
+    faults_->note_seq_timeout();
+    if (trace::Recorder* rec = eng().tracer()) {
+      rec->instant(trace::Category::Orca, "orca.seq.timeout", node, rid,
+                   static_cast<std::uint64_t>(attempt));
+    }
+    if (faults_->failed()) std::rethrow_exception(faults_->failure_eptr());
+    const net::RecoveryParams& rp = faults_->plan().recovery;
+    if (attempt >= rp.max_attempts) {
+      faults_->fail(
+          net::FailureInfo{net::FailureInfo::Kind::SeqTimeout, node, rid, attempt});
+      std::rethrow_exception(faults_->failure_eptr());
+    }
+    faults_->note_retry();
+    return static_cast<sim::SimTime>(static_cast<double>(timeout) * rp.backoff);
   }
 
   /// Installs the universal grant-delivery handler on every node.
   void install_reply_handlers() {
     for (int n = 0; n < topo().num_nodes(); ++n) {
-      net_->endpoint(n).set_handler(kTagSeqReply, [](net::Message m) {
+      net_->endpoint(n).set_handler(kTagSeqReply, [this](net::Message m) {
         auto g = net::payload_as<SeqGrant>(m);
-        g.fut.set_value(g.seq);
+        if (g.fut.ready()) {
+          // A late grant racing a regrant for the same retried request:
+          // the caller already resumed (or timed out and re-resolved).
+          if (faults_ != nullptr) faults_->note_dup_seq_grant();
+          return;
+        }
+        g.fut.set_value(SeqWait{g.seq, false});
       });
     }
   }
 
  private:
   net::Network* net_;
+  net::FaultInjector* faults_;
+  bool recovery_on_;
   std::uint64_t counter_ = 0;
+  std::uint64_t next_req_id_ = 1;
+  std::map<std::uint64_t, std::uint64_t> granted_;  // req_id -> seq (recovery mode)
 };
 
 // --------------------------------------------------------------------
@@ -95,18 +198,31 @@ class CentralizedSequencer final : public SequencerBase {
     install_reply_handlers();
     this->net().endpoint(seq_node_).set_handler(kTagSeqRequest, [this](net::Message m) {
       auto req = net::payload_as<SeqRequest>(m);
+      if (regrant_if_served(seq_node_, req)) return;
       grant(seq_node_, req, take_seq());
     });
   }
 
   sim::Task<std::uint64_t> get_sequence(net::NodeId node) override {
     if (node == seq_node_) {
+      guard_failed();
       co_return take_seq();
     }
-    sim::Future<std::uint64_t> fut(eng());
-    send_control(node, seq_node_, kTagSeqRequest,
-                 net::make_payload<SeqRequest>(SeqRequest{node, fut}));
-    co_return co_await fut;
+    if (!recovery_on()) {
+      sim::Future<SeqWait> fut(eng());
+      send_control(node, seq_node_, kTagSeqRequest,
+                   net::make_payload<SeqRequest>(SeqRequest{node, 0, fut}));
+      co_return (co_await fut).seq;
+    }
+    guard_failed();
+    const std::uint64_t rid = next_req_id();
+    sim::SimTime timeout = faults()->plan().recovery.seq_timeout;
+    for (int attempt = 1;; ++attempt) {
+      sim::Future<SeqWait> fut = send_attempt(node, rid, seq_node_, timeout);
+      const SeqWait w = co_await fut;
+      if (!w.timed_out) co_return w.seq;
+      timeout = after_timeout(node, rid, attempt, timeout);
+    }
   }
 
  private:
@@ -145,14 +261,46 @@ class RotatingSequencer final : public SequencerBase {
 
   sim::Task<std::uint64_t> get_sequence(net::NodeId node) override {
     const net::ClusterId c = topo().cluster_of(node);
-    sim::Future<std::uint64_t> fut(eng());
-    SeqRequest req{node, fut};
-    if (node == seq_node(c)) {
-      on_local_request(c, req);
-    } else {
-      send_control(node, seq_node(c), kTagSeqRequest, net::make_payload<SeqRequest>(req));
+    if (!recovery_on()) {
+      sim::Future<SeqWait> fut(eng());
+      SeqRequest req{node, 0, fut};
+      if (node == seq_node(c)) {
+        on_local_request(c, req);
+      } else {
+        send_control(node, seq_node(c), kTagSeqRequest, net::make_payload<SeqRequest>(req));
+      }
+      co_return (co_await fut).seq;
     }
-    co_return co_await fut;
+    guard_failed();
+    const std::uint64_t rid = next_req_id();
+    sim::SimTime timeout = faults()->plan().recovery.seq_timeout;
+    for (int attempt = 1;; ++attempt) {
+      sim::Future<SeqWait> fut(eng());
+      SeqRequest req{node, rid, fut};
+      if (node == seq_node(c)) {
+        // The request reaches the per-cluster sequencer without touching
+        // the network, but its *grant* may still need the token to ring-
+        // hop over lossy WAN links — so the timeout is armed regardless.
+        on_local_request(c, std::move(req));
+      } else {
+        send_control(node, seq_node(c), kTagSeqRequest, net::make_payload<SeqRequest>(req),
+                     kControlBytes, /*droppable=*/true);
+      }
+      arm_timer(fut, timeout);
+      const SeqWait w = co_await fut;
+      if (!w.timed_out) co_return w.seq;
+      timeout = after_timeout(node, rid, attempt, timeout);
+    }
+  }
+
+  void fail_pending(std::exception_ptr e) override {
+    for (auto& q : pending_) {
+      for (SeqRequest& r : q) {
+        if (!r.fut.ready()) r.fut.set_error(e);
+      }
+      q.clear();
+    }
+    outstanding_ = 0;
   }
 
  private:
@@ -161,6 +309,20 @@ class RotatingSequencer final : public SequencerBase {
   net::NodeId seq_node(net::ClusterId c) const { return topo().compute_node(c, 0); }
 
   void on_local_request(net::ClusterId c, SeqRequest req) {
+    if (recovery_on()) {
+      if (regrant_if_served(seq_node(c), req)) return;
+      // A retry of a request still parked in this cluster's queue:
+      // refresh the future (the old attempt timed out) instead of
+      // queueing — and granting — the same request id twice.
+      auto& q = pending_[static_cast<std::size_t>(c)];
+      for (SeqRequest& queued : q) {
+        if (queued.req_id == req.req_id) {
+          faults()->note_dup_seq_request();
+          queued.fut = req.fut;
+          return;
+        }
+      }
+    }
     ++outstanding_;
     pending_[static_cast<std::size_t>(c)].push_back(std::move(req));
     if (holder_ == c && !token_in_flight_) {
@@ -254,13 +416,28 @@ class MigratingSequencer final : public SequencerBase {
 
   sim::Task<std::uint64_t> get_sequence(net::NodeId node) override {
     if (node == location_) {
+      guard_failed();
       note_request_from(node);
       co_return take_seq();
     }
-    sim::Future<std::uint64_t> fut(eng());
-    send_control(node, location_, kTagSeqRequest,
-                 net::make_payload<SeqRequest>(SeqRequest{node, fut}));
-    co_return co_await fut;
+    if (!recovery_on()) {
+      sim::Future<SeqWait> fut(eng());
+      send_control(node, location_, kTagSeqRequest,
+                   net::make_payload<SeqRequest>(SeqRequest{node, 0, fut}));
+      co_return (co_await fut).seq;
+    }
+    guard_failed();
+    const std::uint64_t rid = next_req_id();
+    sim::SimTime timeout = faults()->plan().recovery.seq_timeout;
+    for (int attempt = 1;; ++attempt) {
+      // location_ is re-read every attempt: if the sequencer migrated
+      // while the previous attempt was lost, the retry goes straight to
+      // its new home instead of bouncing off a forwarder.
+      sim::Future<SeqWait> fut = send_attempt(node, rid, location_, timeout);
+      const SeqWait w = co_await fut;
+      if (!w.timed_out) co_return w.seq;
+      timeout = after_timeout(node, rid, attempt, timeout);
+    }
   }
 
   void hint_migrate(net::NodeId node) override {
@@ -271,10 +448,15 @@ class MigratingSequencer final : public SequencerBase {
  private:
   void on_request(net::NodeId at, SeqRequest req) {
     if (at != location_) {
-      // The sequencer moved while this request was in flight: forward.
-      send_control(at, location_, kTagSeqRequest, net::make_payload<SeqRequest>(req));
+      // The sequencer moved while this request was in flight: forward
+      // (same droppable service class as the request itself).
+      send_control(at, location_, kTagSeqRequest, net::make_payload<SeqRequest>(req),
+                   kControlBytes, recovery_on());
       return;
     }
+    // Duplicate check before note_request_from: a retried request must
+    // not double-count toward the migration threshold.
+    if (regrant_if_served(at, req)) return;
     const net::NodeId requester = req.requester;
     note_request_from(requester);
     grant(at, std::move(req), take_seq());

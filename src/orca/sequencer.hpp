@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <map>
 #include <memory>
 
@@ -44,6 +45,12 @@ class Sequencer {
   /// Application hint: broadcasts will come from `node` for a while
   /// (no-op except for the migrating sequencer).
   virtual void hint_migrate(net::NodeId node) { (void)node; }
+
+  /// Hard-failure fan-out: errors every get-sequence call parked inside
+  /// the sequencer (not in flight on the network) so its caller unwinds.
+  /// Callers suspended on in-flight requests are woken by their own
+  /// retry timers. No-op for sequencers that park no requests.
+  virtual void fail_pending(std::exception_ptr e) { (void)e; }
 
   /// Sequence numbers issued so far.
   virtual std::uint64_t issued() const = 0;

@@ -9,6 +9,7 @@
 
 #include <cassert>
 #include <coroutine>
+#include <exception>
 #include <optional>
 #include <utility>
 
@@ -49,13 +50,33 @@ class Channel {
 
   auto receive() { return ReceiveAwaiter{this}; }
 
+  /// Poisons the channel: every parked receiver (and every later
+  /// receive(), including on queued items) completes by rethrowing `e`.
+  /// Used to unwind processes cooperatively when a run hard-fails —
+  /// a blocked receive must not become a leaked coroutine frame.
+  void fail_all(std::exception_ptr e) {
+    assert(e && "fail_all needs an exception");
+    error_ = e;
+    while (!waiters_.empty()) {
+      ReceiveAwaiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->error = e;
+      eng_->schedule_resume_after(0, w->handle);
+    }
+  }
+
  private:
   struct ReceiveAwaiter {
     Channel* ch;
     std::optional<T> slot{};
+    std::exception_ptr error{};
     std::coroutine_handle<> handle{};
 
     bool await_ready() {
+      if (ch->error_) {
+        error = ch->error_;
+        return true;
+      }
       // Only take an item directly if no earlier receiver is queued.
       if (!ch->items_.empty() && ch->waiters_.empty()) {
         slot.emplace(std::move(ch->items_.front()));
@@ -69,6 +90,7 @@ class Channel {
       ch->waiters_.push_back(this);
     }
     T await_resume() {
+      if (error) std::rethrow_exception(error);
       assert(slot.has_value());
       return std::move(*slot);
     }
@@ -77,6 +99,7 @@ class Channel {
   Engine* eng_;
   Fifo<T> items_;
   Fifo<ReceiveAwaiter*> waiters_;
+  std::exception_ptr error_{};
 };
 
 }  // namespace alb::sim

@@ -1,5 +1,6 @@
 #include "util/options.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <stdexcept>
@@ -40,7 +41,12 @@ bool Options::parse(int argc, const char* const* argv) {
     } else if (value) {
       it->second.value = *value;
     } else {
-      if (i + 1 >= argc) throw std::runtime_error("option --" + key + " needs a value");
+      // `--key value`: the next argv element is the value — unless it is
+      // another option, in which case `--key` was left without a value
+      // (e.g. `--seed --trace` must not silently eat `--trace`).
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        throw std::runtime_error("option --" + key + " needs a value");
+      }
       it->second.value = argv[++i];
     }
   }
@@ -53,7 +59,13 @@ bool Options::parse(int argc, const char* const* argv) {
 
 bool Options::has_flag(const std::string& name) const {
   auto it = defs_.find(name);
-  return it != defs_.end() && it->second.value != "0" && !it->second.value.empty();
+  if (it == defs_.end()) throw std::runtime_error("option not defined: " + name);
+  if (!it->second.is_flag) {
+    // Querying a value option as a flag is a programming error: any
+    // non-empty, non-"0" default would silently read as "set".
+    throw std::logic_error("option --" + name + " is not a flag");
+  }
+  return it->second.value != "0" && !it->second.value.empty();
 }
 
 const std::string& Options::get(const std::string& name) const {
@@ -63,11 +75,25 @@ const std::string& Options::get(const std::string& name) const {
 }
 
 std::int64_t Options::get_int(const std::string& name) const {
-  return std::strtoll(get(name).c_str(), nullptr, 10);
+  const std::string& v = get(name);
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t parsed = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+    throw std::runtime_error("option --" + name + ": invalid integer '" + v + "'");
+  }
+  return parsed;
 }
 
 double Options::get_double(const std::string& name) const {
-  return std::strtod(get(name).c_str(), nullptr);
+  const std::string& v = get(name);
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+    throw std::runtime_error("option --" + name + ": invalid number '" + v + "'");
+  }
+  return parsed;
 }
 
 void Options::print_usage(const std::string& program) const {

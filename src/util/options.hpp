@@ -25,8 +25,14 @@ class Options {
   /// Throws std::runtime_error on unknown or malformed options.
   bool parse(int argc, const char* const* argv);
 
+  /// True iff the define_flag-registered flag `name` was set. Throws
+  /// std::runtime_error for an undefined name and std::logic_error when
+  /// `name` was registered as a value option, not a flag.
   bool has_flag(const std::string& name) const;
   const std::string& get(const std::string& name) const;
+  /// Strictly-parsed numeric accessors: the whole value must consume as
+  /// a number in range, or they throw std::runtime_error naming the
+  /// option and the offending value (`--cpus=abc` is an error, not 0).
   std::int64_t get_int(const std::string& name) const;
   double get_double(const std::string& name) const;
 

@@ -95,6 +95,36 @@ TEST(CampaignDeterminismTest, MixedAppCampaignMatchesJobsOne) {
   }
 }
 
+TEST(CampaignDeterminismTest, FaultedRunsMatchAcrossJobsCounts) {
+  // Fault injection draws from its own per-run RNG stream, so a faulted
+  // simulation sharded across worker threads must stay bit-identical to
+  // the --jobs 1 path: same drops, same retries, same trace hash.
+  apps::AspParams asp = small_asp();
+  std::vector<campaign::SimJob> jobs;
+  for (std::uint64_t seed : {42ull, 7ull, 1234ull}) {
+    AppConfig cfg = small_config(2, 2);
+    cfg.seed = seed;
+    cfg.faults.enabled = true;
+    cfg.faults.wan.loss = 0.05;
+    cfg.faults.wan.latency_jitter = 0.25;
+    jobs.push_back({[asp](const AppConfig& c) { return apps::run_asp(c, asp); }, cfg});
+  }
+  std::vector<AppResult> sequential = campaign::run_sim_jobs(jobs, {1});
+  std::vector<AppResult> parallel = campaign::run_sim_jobs(jobs, {4});
+  ASSERT_EQ(sequential.size(), jobs.size());
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_identical(sequential[i], parallel[i], "faulted campaign job");
+    EXPECT_EQ(sequential[i].stats.value("net/fault.drops"),
+              parallel[i].stats.value("net/fault.drops"))
+        << "job " << i;
+    EXPECT_EQ(sequential[i].stats.value("net/fault.retries"),
+              parallel[i].stats.value("net/fault.retries"))
+        << "job " << i;
+    EXPECT_EQ(sequential[i].status, AppResult::RunStatus::Ok) << "job " << i;
+  }
+}
+
 TEST(CampaignDeterminismTest, RepeatedParallelCampaignsAreStable) {
   // Two parallel executions of the same campaign agree with each other
   // (no run-to-run scheduling sensitivity leaks into results).

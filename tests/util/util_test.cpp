@@ -82,6 +82,106 @@ TEST(Options, PositionalArgumentsCollected) {
   EXPECT_EQ(o.positional(), (std::vector<std::string>{"water", "tsp"}));
 }
 
+TEST(Options, MalformedIntegerThrows) {
+  Options o;
+  o.define("cpus", "4", "cpu count");
+  const char* argv[] = {"prog", "--cpus=abc"};
+  ASSERT_TRUE(o.parse(2, argv));
+  // The error must name the option and the bad value — not parse as 0.
+  try {
+    (void)o.get_int("cpus");
+    FAIL() << "get_int accepted 'abc'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--cpus"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos);
+  }
+}
+
+TEST(Options, TrailingGarbageAndEmptyNumbersThrow) {
+  Options o;
+  o.define("cpus", "4", "cpu count");
+  o.define("bw", "1.5", "bandwidth");
+  const char* argv[] = {"prog", "--cpus=12x", "--bw="};
+  ASSERT_TRUE(o.parse(3, argv));
+  EXPECT_THROW((void)o.get_int("cpus"), std::runtime_error);
+  EXPECT_THROW((void)o.get_double("bw"), std::runtime_error);
+}
+
+TEST(Options, MalformedDoubleThrows) {
+  Options o;
+  o.define("bw", "1.5", "bandwidth");
+  const char* argv[] = {"prog", "--bw", "4.5e"};
+  ASSERT_TRUE(o.parse(3, argv));
+  EXPECT_THROW((void)o.get_double("bw"), std::runtime_error);
+}
+
+TEST(Options, ValidNumbersStillParse) {
+  Options o;
+  o.define("n", "0", "count");
+  o.define("x", "0", "value");
+  const char* argv[] = {"prog", "--n=-42", "--x=2.5e3"};
+  ASSERT_TRUE(o.parse(3, argv));
+  EXPECT_EQ(o.get_int("n"), -42);
+  EXPECT_DOUBLE_EQ(o.get_double("x"), 2500.0);
+}
+
+TEST(Options, SpaceFormDoesNotEatNextOption) {
+  Options o;
+  o.define("seed", "42", "rng seed");
+  o.define_flag("trace", "enable tracing");
+  // `--seed --trace` must report that --seed is missing a value, not
+  // silently consume --trace as the seed.
+  const char* argv[] = {"prog", "--seed", "--trace"};
+  try {
+    o.parse(3, argv);
+    FAIL() << "parse accepted '--seed --trace'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--seed"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("needs a value"), std::string::npos);
+  }
+}
+
+TEST(Options, SpaceFormMissingValueAtEndThrows) {
+  Options o;
+  o.define("seed", "42", "rng seed");
+  const char* argv[] = {"prog", "--seed"};
+  EXPECT_THROW(o.parse(2, argv), std::runtime_error);
+}
+
+TEST(Options, HasFlagRejectsNonFlags) {
+  Options o;
+  o.define("nodes", "8", "node count");  // non-empty, non-"0" default
+  o.define_flag("csv", "emit csv");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(o.parse(1, argv));
+  EXPECT_FALSE(o.has_flag("csv"));
+  // A value option must not read as a set flag just because its default
+  // is truthy-looking, and an unknown name must not read as unset.
+  EXPECT_THROW((void)o.has_flag("nodes"), std::logic_error);
+  EXPECT_THROW((void)o.has_flag("bogus"), std::runtime_error);
+}
+
+TEST(Options, FlagZeroOverrideReadsUnset) {
+  Options o;
+  o.define_flag("csv", "emit csv");
+  const char* argv[] = {"prog", "--csv=0"};
+  ASSERT_TRUE(o.parse(2, argv));
+  EXPECT_FALSE(o.has_flag("csv"));
+}
+
+TEST(Options, UnknownOptionMessageListsKnown) {
+  Options o;
+  o.define("nodes", "8", "node count");
+  const char* argv[] = {"prog", "--bogus=1"};
+  try {
+    o.parse(2, argv);
+    FAIL() << "parse accepted --bogus";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--bogus"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("--nodes"), std::string::npos);
+  }
+}
+
 TEST(Stats, MeanAndStdev) {
   std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
   EXPECT_DOUBLE_EQ(mean(xs), 5.0);
@@ -110,6 +210,40 @@ TEST(Stats, EmptyInputsAreZero) {
   EXPECT_DOUBLE_EQ(mean({}), 0.0);
   EXPECT_DOUBLE_EQ(stdev({}), 0.0);
   EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(min_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(max_of({}), 0.0);
+}
+
+TEST(Stats, PercentileExtremesAndClamping) {
+  std::vector<double> xs{30, 10, 20};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 30);
+  // Out-of-range p clamps to the extremes rather than indexing garbage.
+  EXPECT_DOUBLE_EQ(percentile(xs, -5), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 250), 30);
+  // Single sample: every percentile is that sample.
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 50), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 100), 7.5);
+}
+
+TEST(Stats, AccumulatorSingleSample) {
+  Accumulator acc;
+  acc.add(-3.25);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), -3.25);
+  EXPECT_DOUBLE_EQ(acc.stdev(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -3.25);
+  EXPECT_DOUBLE_EQ(acc.max(), -3.25);
+  EXPECT_DOUBLE_EQ(acc.sum(), -3.25);
+}
+
+TEST(Stats, AccumulatorEmpty) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stdev(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 0.0);
 }
 
 }  // namespace

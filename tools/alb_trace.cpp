@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "apps/app.hpp"
+#include "net/fault.hpp"
 #include "net/presets.hpp"
 #include "trace/chrome_trace.hpp"
 #include "util/options.hpp"
@@ -38,6 +39,24 @@ struct Phase {
   std::uint64_t bcasts = 0;
   std::uint64_t rpcs = 0;
 };
+
+/// The --faults preset: a representative WAN weather pattern covering
+/// every injector mechanism (probabilistic loss, latency + bandwidth
+/// jitter, one link flap, one gateway brown-out) with the default
+/// recovery parameters. docs/RESILIENCE.md documents each knob.
+net::FaultPlan fault_preset() {
+  net::FaultPlan p;
+  p.enabled = true;
+  p.wan.loss = 0.05;
+  p.wan.latency_jitter = 0.25;
+  p.wan.bandwidth_jitter = 0.25;
+  // All WAN circuits unreachable for 20 ms early in the run; stream
+  // traffic is held and released when the window closes.
+  p.flaps.push_back({-1, -1, sim::milliseconds(5), sim::milliseconds(25)});
+  // Cluster 1's gateway degraded for 20 ms: half speed, extra loss.
+  p.brownouts.push_back({1, sim::milliseconds(30), sim::milliseconds(50), 2.0, 0.05});
+  return p;
+}
 
 std::vector<Phase> split_phases(const trace::Trace& tr) {
   std::vector<Phase> phases(1);
@@ -75,40 +94,51 @@ int main(int argc, char** argv) {
   opts.define("metrics-out", "", "write the metrics registry as CSV here");
   opts.define("metrics-json", "", "write the metrics registry as JSON here");
   opts.define_flag("csv", "print the summary tables as CSV");
-  if (!opts.parse(argc, argv)) return 0;
-
+  opts.define_flag("faults",
+                   "inject the preset WAN fault plan (5% loss, 25% jitter, one flap, "
+                   "one brown-out) and report recovery counters");
   const apps::AppEntry* entry = nullptr;
-  for (const auto& e : apps::registry()) {
-    if (e.name == opts.get("app")) entry = &e;
-  }
-  if (!entry) {
-    std::cerr << "unknown app '" << opts.get("app") << "'; registry:";
-    for (const auto& e : apps::registry()) std::cerr << ' ' << e.name;
-    std::cerr << '\n';
-    return 1;
-  }
-
-  const int clusters = static_cast<int>(opts.get_int("clusters"));
-  const int per = static_cast<int>(opts.get_int("per"));
   apps::AppConfig cfg;
-  cfg.clusters = clusters;
-  cfg.procs_per_cluster = per;
-  cfg.net_cfg = net::das_config(clusters, per);
-  cfg.optimized = opts.has_flag("opt");
-  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed"));
-  cfg.trace.enabled = true;
-  cfg.trace.capacity = static_cast<std::size_t>(opts.get_int("capacity"));
-  cfg.trace.engine_events = opts.has_flag("engine-events");
+  bool faults = false;
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+    for (const auto& e : apps::registry()) {
+      if (e.name == opts.get("app")) entry = &e;
+    }
+    if (!entry) {
+      std::cerr << "unknown app '" << opts.get("app") << "'; registry:";
+      for (const auto& e : apps::registry()) std::cerr << ' ' << e.name;
+      std::cerr << '\n';
+      return 1;
+    }
+    cfg.clusters = static_cast<int>(opts.get_int("clusters"));
+    cfg.procs_per_cluster = static_cast<int>(opts.get_int("per"));
+    cfg.net_cfg = net::das_config(cfg.clusters, cfg.procs_per_cluster);
+    cfg.optimized = opts.has_flag("opt");
+    cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+    cfg.trace.enabled = true;
+    cfg.trace.capacity = static_cast<std::size_t>(opts.get_int("capacity"));
+    cfg.trace.engine_events = opts.has_flag("engine-events");
+    faults = opts.has_flag("faults");
+    if (faults) cfg.faults = fault_preset();
+  } catch (const std::exception& e) {
+    std::cerr << "alb-trace: " << e.what() << '\n';
+    return 2;
+  }
 
   const apps::AppResult r = entry->run(cfg);
   const bool csv = opts.has_flag("csv");
 
   // --- run summary ---------------------------------------------------
-  std::cout << "app=" << entry->name << " clusters=" << clusters << " per_cluster=" << per
+  std::cout << "app=" << entry->name << " clusters=" << cfg.clusters
+            << " per_cluster=" << cfg.procs_per_cluster
             << " variant=" << (cfg.optimized ? "optimized" : "original") << " seed=" << cfg.seed
-            << "\n"
+            << (faults ? " faults=preset" : "") << "\n"
             << "sim_time_s=" << sim::to_seconds(r.elapsed) << " events=" << r.events
             << " trace_hash=" << r.trace_hash << "\n";
+  if (r.status != apps::AppResult::RunStatus::Ok) {
+    std::cout << "status=HARD_FAILURE error=\"" << r.error << "\"\n";
+  }
   if (r.trace) {
     std::cout << "trace: recorded=" << r.trace->recorded << " kept=" << r.trace->events.size()
               << " dropped=" << r.trace->dropped << " capacity=" << r.trace->capacity << "\n";
@@ -142,6 +172,33 @@ int main(int argc, char** argv) {
   if (csv) traffic.print_csv(std::cout);
   else traffic.print(std::cout);
   std::cout << "\n";
+
+  // --- fault + recovery counters -------------------------------------
+  if (faults) {
+    util::Table ft({"counter", "value"});
+    const auto add = [&](const char* label, const char* metric) {
+      ft.row().add(label).add(static_cast<long long>(r.stats.value(metric)));
+    };
+    add("drops (total)", "net/fault.drops");
+    add("drops: loss", "net/fault.drops.loss");
+    add("drops: flap", "net/fault.drops.flap");
+    add("drops: brownout", "net/fault.drops.brownout");
+    add("flap holds", "net/fault.holds.flap");
+    add("brownout slowed", "net/fault.brownout.slowed");
+    add("retries", "net/fault.retries");
+    add("rpc timeouts", "net/fault.timeouts.rpc");
+    add("seq timeouts", "net/fault.timeouts.seq");
+    add("dup rpc requests", "net/fault.dup.rpc_requests");
+    add("dup rpc replies", "net/fault.dup.rpc_replies");
+    add("dup seq requests", "net/fault.dup.seq_requests");
+    add("dup seq grants", "net/fault.dup.seq_grants");
+    add("hard failures", "net/fault.hard_failures");
+    add("failed procs", "orca/fault.failed_procs");
+    std::cout << (csv ? "# fault + recovery counters\n" : "=== fault + recovery counters ===\n");
+    if (csv) ft.print_csv(std::cout);
+    else ft.print(std::cout);
+    std::cout << "\n";
+  }
 
   // --- WAN circuit distributions -------------------------------------
   if (auto it = r.stats.histograms.find("net/wan.msg_bytes"); it != r.stats.histograms.end()) {

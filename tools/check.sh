@@ -73,6 +73,39 @@ print(f"trace OK: {len(trace['traceEvents'])} events; "
       f"{len(metrics['counters'])} counters")
 EOF
 
+echo "=== resilience: faulted determinism + disabled-plan no-op gates ==="
+# Same (seed, plan) must reproduce every table byte-for-byte, twice in a
+# row and across campaign --jobs values; with --faults off the tool must
+# be byte-identical run to run (the plan-disabled no-op contract itself
+# is pinned by test_net's DisabledPlanIsByteIdentical and the goldens).
+FAULT_ARGS=(--app TSP --clusters 2 --per 2 --csv)
+./build-release/tools/alb-trace "${FAULT_ARGS[@]}" --faults > build-release/alb-trace.faults.a.csv
+./build-release/tools/alb-trace "${FAULT_ARGS[@]}" --faults > build-release/alb-trace.faults.b.csv
+diff build-release/alb-trace.faults.a.csv build-release/alb-trace.faults.b.csv \
+  || { echo "faulted alb-trace run is not deterministic"; exit 1; }
+./build-release/tools/alb-trace "${FAULT_ARGS[@]}" > build-release/alb-trace.clean.a.csv
+./build-release/tools/alb-trace "${FAULT_ARGS[@]}" > build-release/alb-trace.clean.b.csv
+diff build-release/alb-trace.clean.a.csv build-release/alb-trace.clean.b.csv \
+  || { echo "faults-off alb-trace run is not deterministic"; exit 1; }
+if ! grep -q '^retries,' build-release/alb-trace.faults.a.csv; then
+  echo "fault counter table missing from --faults output"; exit 1
+fi
+if grep -q '^retries,0$' build-release/alb-trace.faults.a.csv; then
+  echo "faulted TSP run saw no retries — injection is not reaching the RPC path"; exit 1
+fi
+./build-release/bench/bench_resilience --quick --csv --jobs 1 \
+  --json build-release/BENCH_resilience.j1.json \
+  | grep -v '^wrote ' > build-release/bench_resilience.j1.csv
+./build-release/bench/bench_resilience --quick --csv --jobs 4 \
+  --json build-release/BENCH_resilience.j4.json \
+  | grep -v '^wrote ' > build-release/bench_resilience.j4.csv
+diff build-release/bench_resilience.j1.csv build-release/bench_resilience.j4.csv \
+  || { echo "bench_resilience: parallel CSV differs from sequential"; exit 1; }
+diff build-release/BENCH_resilience.j1.json build-release/BENCH_resilience.j4.json \
+  || { echo "bench_resilience: parallel JSON differs from sequential"; exit 1; }
+# TSan coverage for the faulted path itself comes from test_campaign's
+# FaultedRunsMatchAcrossJobsCounts, run above.
+
 echo "=== docs: no dead relative links ==="
 fail=0
 for doc in README.md DESIGN.md EXPERIMENTS.md docs/*.md; do
