@@ -24,6 +24,10 @@ struct SimJob {
 
 /// Executes the whole job list on the campaign engine; results are in
 /// submission order (jobs[i] → result[i]) regardless of worker count.
+/// Traced jobs (cfg.trace.enabled) return their full event stream via
+/// AppResult::trace, so per-point post-processing — e.g. the causal
+/// critical-path breakdowns bench_causal writes into its results JSON —
+/// runs after the pool joins and inherits --jobs byte-identity for free.
 inline std::vector<apps::AppResult> run_sim_jobs(const std::vector<SimJob>& jobs,
                                                  const Options& opts = {},
                                                  RunStats* stats = nullptr) {

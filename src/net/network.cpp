@@ -68,6 +68,13 @@ Link& Network::wan_link(ClusterId from, ClusterId to) {
 
 void Network::deliver_at(sim::SimTime t, Message m) {
   auto ev = [this, m = std::move(m)]() mutable {
+    // Recorded at dispatch so the instant carries the delivery time; the
+    // causal DAG builder keys send→deliver edges on the message id and
+    // reads the protocol from the tag in aux.
+    if (rec_) {
+      rec_->instant(trace::Category::Net, "net.deliver", m.dst, m.id, m.bytes,
+                    trace::Recorder::clamp_tag(m.tag));
+    }
     // Postfix expression before argument initialization (C++17 sequencing):
     // m.dst is read before the move steals the message.
     endpoint(m.dst).deliver(std::move(m));
@@ -151,12 +158,19 @@ void Network::run_hop(HopPlan plan) {
           break;
         }
       }
+      const sim::SimTime wait = wan.busy_until() - eng_->now();
+      const std::uint64_t queued = static_cast<std::uint64_t>(wait > 0 ? wait : 0);
       if (h_wan_bytes_) {
         h_wan_bytes_->add(plan.msg.bytes);
-        const sim::SimTime wait = wan.busy_until() - eng_->now();
-        h_wan_queue_->add(static_cast<std::uint64_t>(wait > 0 ? wait : 0));
+        h_wan_queue_->add(queued);
       }
       if (rec_) {
+        // Queue wait is recorded explicitly so the causal profiler can
+        // split the circuit crossing into queue / latency / serialization.
+        if (queued > 0) {
+          rec_->instant(trace::Category::Net, "net.wan.queue", topo_.gateway_of(plan.from),
+                        plan.msg.id, queued);
+        }
         rec_->instant(trace::Category::Net, "net.hop.wan", topo_.gateway_of(plan.from),
                       plan.msg.id, plan.msg.bytes);
       }
@@ -225,7 +239,10 @@ std::uint64_t Network::send(Message m) {
   if (m.src == m.dst) {
     // Loopback: no link charge, but still goes through the event queue so
     // a self-send never reorders ahead of already-scheduled work.
-    if (rec_) rec_->instant(trace::Category::Net, "net.send.local", m.src, m.id, m.bytes);
+    if (rec_) {
+      rec_->instant(trace::Category::Net, "net.send.local", m.src, m.id, m.bytes,
+                    trace::Recorder::clamp_tag(m.tag));
+    }
     deliver_at(eng_->now(), std::move(m));
     return id;
   }
@@ -234,7 +251,10 @@ std::uint64_t Network::send(Message m) {
   const ClusterId dc = topo_.cluster_of(m.dst);
 
   if (sc == dc) {
-    if (rec_) rec_->instant(trace::Category::Net, "net.send.lan", m.src, m.id, m.bytes);
+    if (rec_) {
+      rec_->instant(trace::Category::Net, "net.send.lan", m.src, m.id, m.bytes,
+                    trace::Recorder::clamp_tag(m.tag));
+    }
     stats_.record_intra(m.kind, m.bytes);
     // Gateways reach their own cluster over the delivery (FE) link;
     // compute nodes use their Myrinet egress.
@@ -253,7 +273,10 @@ std::uint64_t Network::send(Message m) {
   // Intercluster: first hop to the local gateway over Fast Ethernet.
   // (A gateway itself never originates application messages on DAS, but
   // relay code may run there in tests; it goes straight to the WAN.)
-  if (rec_) rec_->begin(trace::Category::Net, "net.wan", m.src, m.id, m.bytes);
+  if (rec_) {
+    rec_->begin(trace::Category::Net, "net.wan", m.src, m.id, m.bytes,
+                trace::Recorder::clamp_tag(m.tag));
+  }
   HopPlan plan{std::move(m), sc, dc, HopStage::kGatewayIngress, /*broadcast=*/false};
   if (topo_.is_gateway(plan.msg.src)) {
     run_hop(std::move(plan));
@@ -276,7 +299,10 @@ std::uint64_t Network::lan_broadcast(NodeId src, Message m) {
   m.sent_at = eng_->now();
   m.src = src;
   const ClusterId c = topo_.cluster_of(src);
-  if (rec_) rec_->instant(trace::Category::Net, "net.bcast.lan", src, m.id, m.bytes);
+  if (rec_) {
+    rec_->instant(trace::Category::Net, "net.bcast.lan", src, m.id, m.bytes,
+                  trace::Recorder::clamp_tag(m.tag));
+  }
   stats_.record_intra(m.kind, m.bytes);
   sim::SimTime t = bcast_link(c).transfer(m.bytes);
   for (int i = 0; i < topo_.nodes_per_cluster(); ++i) {
@@ -298,7 +324,10 @@ std::uint64_t Network::wan_broadcast(NodeId src, ClusterId target, Message m) {
   m.dst = topo_.gateway_of(target);
   const ClusterId sc = topo_.cluster_of(src);
   const std::uint64_t id = m.id;
-  if (rec_) rec_->begin(trace::Category::Net, "net.wan", src, id, m.bytes);
+  if (rec_) {
+    rec_->begin(trace::Category::Net, "net.wan", src, id, m.bytes,
+                trace::Recorder::clamp_tag(m.tag));
+  }
   const sim::SimTime at_gw = access_link(src).transfer(m.bytes);
   schedule_hop_at(at_gw, HopPlan{std::move(m), sc, target, HopStage::kGatewayIngress,
                                  /*broadcast=*/true});

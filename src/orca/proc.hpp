@@ -30,7 +30,14 @@ struct Proc {
   /// breakdowns (everything between the charges is communication or
   /// idle time by definition).
   auto compute(sim::SimTime t) const {
-    compute_charged += t < 0 ? 0 : t;
+    const sim::SimTime d = t < 0 ? 0 : t;
+    compute_charged += d;
+    // The instant marks the start of a work interval of length `arg`;
+    // the causal profiler uses it to tell compute from waiting inside a
+    // process's program-order gaps.
+    if (trace::Recorder* rec = net->engine().tracer()) {
+      rec->instant(trace::Category::App, "app.compute", node, 0, static_cast<std::uint64_t>(d));
+    }
     return net->engine().delay(t);
   }
 

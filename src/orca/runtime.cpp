@@ -440,6 +440,10 @@ void Runtime::spawn_all(ProcMain main) {
 }
 
 sim::Task<void> Runtime::run_proc(ProcMain main, Proc& p) {
+  if (trace::Recorder* rec = engine().tracer()) {
+    rec->instant(trace::Category::Orca, "orca.proc.start", p.node,
+                 static_cast<std::uint64_t>(p.rank));
+  }
   try {
     co_await main(p);
   } catch (const net::HardFailure&) {
@@ -449,6 +453,10 @@ sim::Task<void> Runtime::run_proc(ProcMain main, Proc& p) {
     // its coroutine frame is reclaimed instead of leaking. Letting the
     // exception escape this detached coroutine would abort the run.
     ++failed_procs_;
+  }
+  if (trace::Recorder* rec = engine().tracer()) {
+    rec->instant(trace::Category::Orca, "orca.proc.finish", p.node,
+                 static_cast<std::uint64_t>(p.rank));
   }
   last_finish_ = std::max(last_finish_, engine().now());
   ++finished_;

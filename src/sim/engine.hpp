@@ -21,6 +21,11 @@
 //     one null-pointer test per dispatched event, which is how the
 //     bench_engine microbenches run; instrumented layers cache
 //     tracer() once and guard each record site the same way.
+//     Instrumentation may only *push* events into the recorder — it
+//     must never schedule events or spawn tasks, so a traced run
+//     dispatches the identical (time, seq) stream as an untraced one
+//     (trace_hash goldens) and post-hoc analysis such as
+//     src/trace/causal/ sees real timings, not probe effects.
 
 #include <cstdint>
 

@@ -1,0 +1,318 @@
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+
+#include "orca/tags.hpp"
+#include "trace/causal/causal.hpp"
+
+namespace alb::trace::causal {
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::App: return "app";
+    case Protocol::Rpc: return "rpc";
+    case Protocol::Bcast: return "bcast";
+    case Protocol::Seq: return "seq";
+    case Protocol::Barrier: return "barrier";
+  }
+  return "?";
+}
+
+Protocol protocol_of_tag(int tag) {
+  if (tag >= 0) return Protocol::App;
+  switch (tag) {
+    case orca::kTagRpcRequest:
+    case orca::kTagRpcReply: return Protocol::Rpc;
+    case orca::kTagBcastData: return Protocol::Bcast;
+    case orca::kTagSeqRequest:
+    case orca::kTagSeqReply:
+    case orca::kTagSeqToken:
+    case orca::kTagSeqMigrate: return Protocol::Seq;
+    case orca::kTagBarrierArrive:
+    case orca::kTagBarrierRelease: return Protocol::Barrier;
+    default: return Protocol::App;
+  }
+}
+
+const char* to_string(EdgeClass c) {
+  switch (c) {
+    case EdgeClass::Compute: return "compute";
+    case EdgeClass::Serve: return "serve";
+    case EdgeClass::Idle: return "idle";
+    case EdgeClass::RpcWait: return "rpc.wait";
+    case EdgeClass::SeqWait: return "seq.wait";
+    case EdgeClass::BarrierWait: return "barrier.wait";
+    case EdgeClass::BcastWait: return "bcast.wait";
+    case EdgeClass::RecvWait: return "recv.wait";
+    case EdgeClass::FaultWait: return "fault.retry";
+    case EdgeClass::Lan: return "lan";
+    case EdgeClass::Access: return "access";
+    case EdgeClass::Gateway: return "gateway";
+    case EdgeClass::WanTransfer: return "wan";
+    case EdgeClass::FaultHold: return "fault.hold";
+    case EdgeClass::Drop: return "fault.drop";
+    case EdgeClass::Startup: return "startup";
+  }
+  return "?";
+}
+
+namespace {
+
+using std::string_view;
+
+/// Per-compute-node program-order sweep state.
+struct ActorState {
+  std::uint32_t last_chain = kNone;
+  sim::SimTime compute_until = 0;  ///< absolute end of the last charge
+  int seq_open = 0;
+  int rpc_open = 0;
+  int retry_open = 0;
+  int bcast_open = 0;
+  bool barrier_wait = false;
+  std::uint32_t last_deliver = kNone;
+  std::array<std::uint32_t, 5> last_deliver_by_proto{kNone, kNone, kNone, kNone, kNone};
+};
+
+/// Per-message-id journey state.
+struct MsgState {
+  std::uint32_t last = kNone;  ///< last non-deliver journey event
+  Protocol proto = Protocol::App;
+  bool proto_known = false;
+  sim::SimTime queue_pending = 0;  ///< from net.wan.queue, consumed by the hop
+};
+
+bool is_journey_name(string_view n) {
+  return n == "net.send.local" || n == "net.send.lan" || n == "net.bcast.lan" ||
+         n == "net.wan" || n == "net.hop.gw_in" || n == "net.hop.wan" ||
+         n == "net.hop.gw_out" || n == "net.fault.drop" || n == "net.fault.flap_hold" ||
+         n == "net.deliver";
+}
+
+/// Names whose aux field carries the endpoint tag.
+bool carries_tag(string_view n, EventPhase ph) {
+  return n == "net.send.local" || n == "net.send.lan" || n == "net.bcast.lan" ||
+         n == "net.deliver" || (n == "net.wan" && ph == EventPhase::Begin);
+}
+
+EdgeClass hop_class(string_view from, string_view to) {
+  if (to == "net.fault.drop") return EdgeClass::Drop;
+  if (from == "net.fault.flap_hold") return EdgeClass::FaultHold;
+  if (from == "net.wan") return EdgeClass::Access;  // source node → gateway
+  if (from == "net.hop.wan") return EdgeClass::WanTransfer;
+  // gw_in → hop.wan / flap_hold, gw_out → wan End: forwarding overhead.
+  (void)to;
+  return EdgeClass::Gateway;
+}
+
+}  // namespace
+
+Dag build_dag(const Trace& trace, const net::TopologyConfig& net_cfg) {
+  Dag dag;
+  dag.net = net_cfg;
+  const net::Topology topo(net_cfg);
+
+  // --- normalization: drop End events whose Begin was truncated away
+  // by ring wraparound, so every surviving End has a matching earlier
+  // Begin (pinned by causal_test.cpp). Keys compare name *content*:
+  // identical literals are not guaranteed merged across TUs.
+  dag.events.reserve(trace.events.size());
+  {
+    std::map<std::pair<string_view, std::uint64_t>, int> open;
+    for (const TraceEvent& e : trace.events) {
+      if (e.phase == EventPhase::Begin) {
+        ++open[{string_view(e.name), e.id}];
+      } else if (e.phase == EventPhase::End) {
+        auto it = open.find({string_view(e.name), e.id});
+        if (it == open.end() || it->second == 0) {
+          ++dag.orphan_ends;
+          continue;
+        }
+        --it->second;
+      }
+      dag.events.push_back(e);
+    }
+  }
+
+  const std::uint32_t n = static_cast<std::uint32_t>(dag.events.size());
+  dag.in_program.assign(n, kNone);
+  dag.in_message.assign(n, kNone);
+  dag.in_wake.assign(n, kNone);
+
+  std::unordered_map<std::int32_t, ActorState> actors;
+  std::unordered_map<std::uint64_t, MsgState> msgs;
+
+  auto add_edge = [&](Edge e) -> std::uint32_t {
+    assert(e.dur >= 0 && "dependency edges never go backward in sim time");
+    const std::uint32_t idx = static_cast<std::uint32_t>(dag.edges.size());
+    dag.edges.push_back(e);
+    return idx;
+  };
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const TraceEvent& e = dag.events[i];
+    const string_view name(e.name);
+
+    // WAN queue-wait metadata: attached to the message, not a DAG node.
+    if (name == "net.wan.queue") {
+      msgs[e.id].queue_pending = static_cast<sim::SimTime>(e.arg);
+      continue;
+    }
+
+    const bool journey = is_journey_name(name);
+    const bool deliver = journey && name == "net.deliver";
+
+    if (journey) {
+      MsgState& ms = msgs[e.id];
+      if (!ms.proto_known && carries_tag(name, e.phase)) {
+        ms.proto = protocol_of_tag(e.aux);
+        ms.proto_known = true;
+      }
+      if (ms.last != kNone) {
+        const TraceEvent& prev = dag.events[ms.last];
+        Edge edge;
+        edge.from = ms.last;
+        edge.to = i;
+        edge.kind = EdgeKind::Message;
+        edge.proto = ms.proto;
+        edge.dur = e.time - prev.time;
+        edge.bytes = e.arg;
+        const string_view pname(prev.name);
+        if (deliver) {
+          // Fan-out point: several delivers can hang off one journey
+          // event (LAN broadcast, WAN re-broadcast), so `last` is not
+          // advanced. The final hop into the destination cluster is the
+          // broadcast link for ordered-broadcast traffic, the delivery
+          // (access) link otherwise.
+          if (pname == "net.wan") {
+            edge.cls = ms.proto == Protocol::Bcast ? EdgeClass::Lan : EdgeClass::Access;
+          } else {
+            edge.cls = EdgeClass::Lan;
+          }
+          dag.in_message[i] = add_edge(edge);
+        } else {
+          edge.cls = hop_class(pname, name);
+          if (edge.cls == EdgeClass::WanTransfer) {
+            // Decompose the circuit crossing: queue wait was recorded
+            // explicitly; propagation latency comes from the topology
+            // (capped by what actually elapsed); serialization — which
+            // includes the per-message overhead and any injected
+            // jitter — is the remainder.
+            edge.wan_queue = std::min(ms.queue_pending, edge.dur);
+            const sim::SimTime rest = edge.dur - edge.wan_queue;
+            edge.wan_lat = std::min(net_cfg.wan.latency, rest);
+            edge.wan_ser = rest - edge.wan_lat;
+            ms.queue_pending = 0;
+          }
+          dag.in_message[i] = add_edge(edge);
+          ms.last = i;
+        }
+      } else if (!deliver) {
+        ms.last = i;  // journey head (or truncated restart)
+      }
+    }
+
+    if (deliver) {
+      ActorState& as = actors[e.actor];
+      as.last_deliver = i;
+      as.last_deliver_by_proto[static_cast<std::size_t>(protocol_of_tag(e.aux))] = i;
+      if (e.aux == Recorder::clamp_tag(orca::kTagBarrierRelease)) as.barrier_wait = false;
+      continue;
+    }
+
+    // Program chains cover compute nodes only: gateway events belong to
+    // message journeys (gateways are store-and-forward devices whose
+    // unrelated messages must not order against each other), and
+    // actor-less engine events carry no placement.
+    if (e.actor < 0 || !topo.is_compute(e.actor)) continue;
+
+    ActorState& as = actors[e.actor];
+    if (as.last_chain != kNone) {
+      const std::uint32_t u = as.last_chain;
+      const TraceEvent& prev = dag.events[u];
+      Edge edge;
+      edge.from = u;
+      edge.to = i;
+      edge.kind = EdgeKind::Program;
+      edge.dur = e.time - prev.time;
+      edge.work = std::clamp<sim::SimTime>(as.compute_until - prev.time, 0, edge.dur);
+      if (edge.work >= edge.dur) {
+        edge.cls = EdgeClass::Compute;
+        edge.work = edge.dur;
+      } else {
+        // Trailing wait: classed by the node's open protocol state,
+        // innermost first. A gap that ends in a timeout instant is
+        // retry cost regardless of what else is open.
+        Protocol pref = Protocol::App;
+        if (as.retry_open > 0 || name == "orca.rpc.timeout") {
+          edge.cls = EdgeClass::FaultWait;
+          pref = Protocol::Rpc;
+        } else if (as.seq_open > 0) {
+          edge.cls = EdgeClass::SeqWait;
+          pref = Protocol::Seq;
+        } else if (as.barrier_wait) {
+          edge.cls = EdgeClass::BarrierWait;
+          pref = Protocol::Barrier;
+        } else if (as.rpc_open > 0) {
+          edge.cls = EdgeClass::RpcWait;
+          pref = Protocol::Rpc;
+        } else if (as.bcast_open > 0) {
+          edge.cls = EdgeClass::BcastWait;
+          pref = Protocol::Bcast;
+        } else if (string_view(prev.name) == "orca.rpc.serve") {
+          edge.cls = EdgeClass::Serve;  // service time at the callee
+        } else {
+          edge.cls = as.last_deliver != kNone && as.last_deliver > u ? EdgeClass::RecvWait
+                                                                     : EdgeClass::Idle;
+        }
+        // Bind the wait to the delivery that ended it, if one landed in
+        // the gap: prefer the protocol being waited on, fall back to
+        // the newest delivery of any kind.
+        if (edge.cls != EdgeClass::Serve) {
+          std::uint32_t d = as.last_deliver_by_proto[static_cast<std::size_t>(pref)];
+          if (d == kNone || d <= u) d = as.last_deliver;
+          if (d != kNone && d > u) {
+            edge.wake_bound = true;
+            Edge wake;
+            wake.from = d;
+            wake.to = i;
+            wake.kind = EdgeKind::Wake;
+            wake.cls = edge.cls;
+            wake.proto = pref;
+            wake.dur = e.time - dag.events[d].time;
+            dag.in_wake[i] = add_edge(wake);
+          }
+        }
+      }
+      dag.in_program[i] = add_edge(edge);
+    }
+    as.last_chain = i;
+    dag.sink = i;  // events are time-ordered: the last chain event wins
+    dag.end = e.time;
+
+    // State transitions take effect for the *next* gap at this node.
+    if (name == "app.compute") {
+      as.compute_until = e.time + static_cast<sim::SimTime>(e.arg);
+    } else if (name == "orca.seq.get") {
+      as.seq_open += e.phase == EventPhase::Begin ? 1 : (as.seq_open > 0 ? -1 : 0);
+    } else if (name == "orca.rpc") {
+      as.rpc_open += e.phase == EventPhase::Begin ? 1 : (as.rpc_open > 0 ? -1 : 0);
+    } else if (name == "orca.rpc.retry") {
+      as.retry_open += e.phase == EventPhase::Begin ? 1 : (as.retry_open > 0 ? -1 : 0);
+    } else if (name == "orca.bcast") {
+      as.bcast_open += e.phase == EventPhase::Begin ? 1 : (as.bcast_open > 0 ? -1 : 0);
+    } else if (name == "orca.barrier.arrive") {
+      as.barrier_wait = true;
+    } else if (name == "orca.barrier.release") {
+      // Recorded at node 0 while releasing: rank 0's own wait ends here.
+      as.barrier_wait = false;
+    }
+  }
+
+  return dag;
+}
+
+}  // namespace alb::trace::causal

@@ -26,8 +26,9 @@ void write_event(std::ostream& os, const TraceEvent& e) {
     case EventPhase::Begin: ph = "b"; break;
     case EventPhase::End: ph = "e"; break;
   }
-  os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << to_string(e.cat) << "\",\"ph\":\"" << ph
-     << "\",\"ts\":";
+  os << "{\"name\":\"";
+  write_json_escaped(os, e.name);
+  os << "\",\"cat\":\"" << to_string(e.cat) << "\",\"ph\":\"" << ph << "\",\"ts\":";
   write_ts(os, e.time);
   os << ",\"pid\":0,\"tid\":" << e.actor;
   if (e.phase == EventPhase::Instant) {
@@ -40,13 +41,51 @@ void write_event(std::ostream& os, const TraceEvent& e) {
 
 }  // namespace
 
-void write_chrome_trace(const Trace& trace, std::ostream& os) {
+void write_json_escaped(std::ostream& os, std::string_view s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          // Remaining control bytes: \u00XX. Bytes ≥ 0x80 are passed
+          // through so UTF-8 sequences survive unmangled.
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          os << buf;
+        } else {
+          os << static_cast<char>(c);
+        }
+    }
+  }
+}
+
+void write_chrome_trace(const Trace& trace, std::ostream& os,
+                        const std::vector<HighlightSpan>& highlight) {
   os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"recorded\":" << trace.recorded
      << ",\"dropped\":" << trace.dropped << ",\"capacity\":" << trace.capacity
      << "},\"traceEvents\":[\n";
   // Process/thread naming metadata so viewers label rows usefully.
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
         "\"args\":{\"name\":\"albatross sim\"}}";
+  if (!highlight.empty()) {
+    os << ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+          "\"args\":{\"name\":\"critical path\"}}";
+    for (const HighlightSpan& h : highlight) {
+      os << ",\n{\"name\":\"";
+      write_json_escaped(os, h.label);
+      os << "\",\"cat\":\"causal\",\"ph\":\"X\",\"ts\":";
+      write_ts(os, h.begin);
+      os << ",\"dur\":";
+      write_ts(os, h.end - h.begin);
+      os << ",\"pid\":1,\"tid\":0,\"args\":{}}";
+    }
+  }
   for (const TraceEvent& e : trace.events) {
     os << ",\n";
     write_event(os, e);
@@ -54,9 +93,9 @@ void write_chrome_trace(const Trace& trace, std::ostream& os) {
   os << "\n]}\n";
 }
 
-std::string chrome_trace_string(const Trace& trace) {
+std::string chrome_trace_string(const Trace& trace, const std::vector<HighlightSpan>& highlight) {
   std::ostringstream ss;
-  write_chrome_trace(trace, ss);
+  write_chrome_trace(trace, ss, highlight);
   return ss.str();
 }
 

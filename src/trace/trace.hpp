@@ -66,7 +66,12 @@ struct TraceEvent {
   std::int32_t actor = -1; ///< node id the event happened at; -1 = none
   Category cat = Category::Sim;
   EventPhase phase = EventPhase::Instant;
+  /// Protocol context (the endpoint tag for network events, clamped to
+  /// 16 bits). Lives in what used to be struct padding, so adding it
+  /// did not grow the event.
+  std::int16_t aux = 0;
 };
+static_assert(sizeof(TraceEvent) == 40, "aux must live in padding, not grow the event");
 
 /// The harvested recording: events oldest → newest plus drop counters.
 /// Plain data; shared by AppResult via shared_ptr so results stay cheap
@@ -83,7 +88,7 @@ struct Config {
   /// Master switch. Off (the default) means no Recorder is created and
   /// every instrumentation site reduces to a null-pointer check.
   bool enabled = false;
-  /// Ring capacity in events (32 bytes each). The default keeps the
+  /// Ring capacity in events (40 bytes each). The default keeps the
   /// newest ~1M events, enough for a full bench-size app run.
   std::size_t capacity = std::size_t{1} << 20;
   /// Also record one Sim-category instant per dispatched engine event
@@ -103,16 +108,24 @@ class Recorder {
   bool engine_events() const { return engine_events_; }
 
   void instant(Category cat, const char* name, std::int32_t actor, std::uint64_t id = 0,
-               std::uint64_t arg = 0) {
-    push({now_, id, arg, name, actor, cat, EventPhase::Instant});
+               std::uint64_t arg = 0, std::int16_t aux = 0) {
+    push({now_, id, arg, name, actor, cat, EventPhase::Instant, aux});
   }
   void begin(Category cat, const char* name, std::int32_t actor, std::uint64_t id,
-             std::uint64_t arg = 0) {
-    push({now_, id, arg, name, actor, cat, EventPhase::Begin});
+             std::uint64_t arg = 0, std::int16_t aux = 0) {
+    push({now_, id, arg, name, actor, cat, EventPhase::Begin, aux});
   }
   void end(Category cat, const char* name, std::int32_t actor, std::uint64_t id,
-           std::uint64_t arg = 0) {
-    push({now_, id, arg, name, actor, cat, EventPhase::End});
+           std::uint64_t arg = 0, std::int16_t aux = 0) {
+    push({now_, id, arg, name, actor, cat, EventPhase::End, aux});
+  }
+
+  /// Clamp an endpoint tag into the 16-bit aux slot. Runtime control
+  /// tags are small negatives (orca/tags.hpp); app tags start at 0.
+  static std::int16_t clamp_tag(int tag) {
+    if (tag > 32767) return 32767;
+    if (tag < -32768) return -32768;
+    return static_cast<std::int16_t>(tag);
   }
 
   /// Fresh id for spans with no natural identity. Deterministic: a

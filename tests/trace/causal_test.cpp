@@ -1,0 +1,254 @@
+// Contracts of the causal analysis layer (src/trace/causal/):
+// happens-before DAG invariants over real traced runs and synthetic
+// wrapped rings, critical-path telescoping, what-if projections
+// validated against actual re-simulation, and the faults composition.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "apps/asp.hpp"
+#include "apps/tsp.hpp"
+#include "net/presets.hpp"
+#include "trace/causal/causal.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace alb;
+using apps::AppConfig;
+using apps::AppResult;
+
+AppConfig traced_config(int clusters, int per) {
+  AppConfig cfg;
+  cfg.clusters = clusters;
+  cfg.procs_per_cluster = per;
+  cfg.net_cfg = net::das_config(clusters, per);
+  cfg.seed = 42;
+  cfg.trace.enabled = true;
+  return cfg;
+}
+
+apps::TspParams small_tsp() {
+  apps::TspParams p;
+  p.cities = 10;
+  p.job_depth = 3;
+  return p;
+}
+
+apps::AspParams small_asp() {
+  apps::AspParams p;
+  p.nodes = 48;
+  return p;
+}
+
+// --- DAG invariants --------------------------------------------------
+
+TEST(CausalDag, OrphanEndsFromWraparoundAreDroppedAndCounted) {
+  // Capacity 4: the begin at t=0 is overwritten by the instants, so its
+  // end arrives with no matching begin in the surviving window.
+  trace::Config tc;
+  tc.enabled = true;
+  tc.capacity = 4;
+  trace::Recorder rec(tc);
+  rec.set_time(0);
+  rec.begin(trace::Category::Net, "net.wan", /*actor=*/0, /*id=*/7);
+  for (int i = 1; i <= 4; ++i) {
+    rec.set_time(i * 10);
+    rec.instant(trace::Category::App, "tick", 0, static_cast<std::uint64_t>(i));
+  }
+  rec.set_time(100);
+  rec.end(trace::Category::Net, "net.wan", 0, 7);
+
+  const trace::causal::Dag dag =
+      trace::causal::build_dag(rec.harvest(), net::das_config(2, 2));
+  EXPECT_EQ(dag.orphan_ends, 1u);
+  for (const trace::TraceEvent& e : dag.events) {
+    EXPECT_NE(e.phase, trace::EventPhase::End) << e.name;
+  }
+}
+
+TEST(CausalDag, MatchedSpansSurviveNormalization) {
+  trace::Config tc;
+  tc.enabled = true;
+  tc.capacity = 16;
+  trace::Recorder rec(tc);
+  rec.set_time(0);
+  rec.begin(trace::Category::Net, "net.wan", 0, 7);
+  rec.set_time(50);
+  rec.end(trace::Category::Net, "net.wan", 0, 7);
+  const trace::causal::Dag dag =
+      trace::causal::build_dag(rec.harvest(), net::das_config(2, 2));
+  EXPECT_EQ(dag.orphan_ends, 0u);
+  ASSERT_EQ(dag.events.size(), 2u);
+  EXPECT_EQ(dag.events[1].phase, trace::EventPhase::End);
+}
+
+TEST(CausalDag, EdgesNeverGoBackwardInSimTime) {
+  const AppResult r = apps::run_tsp(traced_config(2, 2), small_tsp());
+  ASSERT_TRUE(r.trace);
+  const trace::causal::Dag dag = trace::causal::build_dag(*r.trace, net::das_config(2, 2));
+  EXPECT_GT(dag.edges.size(), 0u);
+  for (const trace::causal::Edge& e : dag.edges) {
+    EXPECT_GE(e.dur, 0);
+    EXPECT_LE(dag.events[e.from].time, dag.events[e.to].time);
+    EXPECT_EQ(dag.events[e.to].time - dag.events[e.from].time, e.dur);
+  }
+}
+
+// --- critical path ---------------------------------------------------
+
+void expect_telescopes(const trace::causal::CriticalPath& cp) {
+  ASSERT_FALSE(cp.segments.empty());
+  EXPECT_EQ(cp.segments.front().begin, 0);
+  EXPECT_EQ(cp.segments.back().end, cp.length);
+  sim::SimTime sum = 0;
+  for (std::size_t i = 0; i < cp.segments.size(); ++i) {
+    if (i > 0) {
+      EXPECT_EQ(cp.segments[i].begin, cp.segments[i - 1].end);
+    }
+    sum += cp.segments[i].dur();
+  }
+  EXPECT_EQ(sum, cp.length);
+  sim::SimTime by_blame_sum = 0;
+  for (const auto& [k, v] : cp.by_blame) by_blame_sum += v;
+  EXPECT_EQ(by_blame_sum, cp.length);
+}
+
+TEST(CriticalPath, SinglePrcessRunIsExactlyElapsed) {
+  // One process, no communication: the path is the program chain and
+  // its length is the run's elapsed time, exactly.
+  const AppResult r = apps::run_tsp(traced_config(1, 1), small_tsp());
+  ASSERT_TRUE(r.trace);
+  const trace::causal::Dag dag = trace::causal::build_dag(*r.trace, net::das_config(1, 1));
+  const trace::causal::CriticalPath cp = trace::causal::critical_path(dag);
+  EXPECT_EQ(cp.length, r.elapsed);
+  expect_telescopes(cp);
+}
+
+TEST(CriticalPath, SegmentsTelescopeOnDistributedRuns) {
+  {
+    const AppResult r = apps::run_tsp(traced_config(2, 2), small_tsp());
+    ASSERT_TRUE(r.trace);
+    const trace::causal::Dag dag = trace::causal::build_dag(*r.trace, net::das_config(2, 2));
+    const trace::causal::CriticalPath cp = trace::causal::critical_path(dag);
+    EXPECT_EQ(cp.length, dag.end);
+    expect_telescopes(cp);
+  }
+  {
+    const AppResult r = apps::run_asp(traced_config(2, 2), small_asp());
+    ASSERT_TRUE(r.trace);
+    const trace::causal::Dag dag = trace::causal::build_dag(*r.trace, net::das_config(2, 2));
+    const trace::causal::CriticalPath cp = trace::causal::critical_path(dag);
+    EXPECT_EQ(cp.length, dag.end);
+    expect_telescopes(cp);
+  }
+}
+
+TEST(CriticalPath, DeterministicAcrossRebuilds) {
+  const AppResult r = apps::run_asp(traced_config(2, 2), small_asp());
+  ASSERT_TRUE(r.trace);
+  const auto cfg = net::das_config(2, 2);
+  const trace::causal::CriticalPath a =
+      trace::causal::critical_path(trace::causal::build_dag(*r.trace, cfg));
+  const trace::causal::CriticalPath b =
+      trace::causal::critical_path(trace::causal::build_dag(*r.trace, cfg));
+  EXPECT_EQ(a.length, b.length);
+  EXPECT_EQ(a.segments.size(), b.segments.size());
+  EXPECT_EQ(a.by_blame, b.by_blame);
+}
+
+// --- what-if validation ----------------------------------------------
+
+// Projection error of `wan-lat-eq-lan` versus actually re-simulating
+// with the LAN-equal WAN latency. These tolerances are the documented
+// contract (docs/OBSERVABILITY.md): ASP is a data-parallel pipeline
+// whose work is timing-independent, so the retimer is near-exact; TSP
+// is branch-and-bound, where a faster WAN propagates bounds earlier and
+// *changes the work itself* — the DAG retimer cannot see pruning, so
+// its error bound is loose.
+double projection_error_pct(const AppResult& traced, const AppConfig& cfg,
+                            const trace::causal::Dag& dag,
+                            const std::function<AppResult(const AppConfig&)>& run) {
+  const trace::causal::Scenario sc =
+      trace::causal::parse_scenario("wan-lat-eq-lan", cfg.net_cfg);
+  EXPECT_TRUE(sc.validatable);
+  const trace::causal::Projection pj = trace::causal::what_if(dag, sc);
+  EXPECT_EQ(pj.observed, traced.elapsed);
+
+  AppConfig vcfg = cfg;
+  vcfg.net_cfg = trace::causal::apply_scenario(sc, cfg.net_cfg);
+  vcfg.trace.enabled = false;
+  const AppResult actual = run(vcfg);
+  EXPECT_EQ(actual.status, AppResult::RunStatus::Ok);
+  EXPECT_GT(actual.elapsed, 0);
+  return 100.0 *
+         std::abs(static_cast<double>(pj.projected) - static_cast<double>(actual.elapsed)) /
+         static_cast<double>(actual.elapsed);
+}
+
+TEST(WhatIf, WanLatEqLanMatchesResimulationAsp) {
+  const AppConfig cfg = traced_config(2, 4);
+  const apps::AspParams p = small_asp();
+  const auto run = [&](const AppConfig& c) { return apps::run_asp(c, p); };
+  const AppResult r = run(cfg);
+  ASSERT_TRUE(r.trace);
+  const trace::causal::Dag dag = trace::causal::build_dag(*r.trace, cfg.net_cfg);
+  EXPECT_LT(projection_error_pct(r, cfg, dag, run), 2.0);
+}
+
+TEST(WhatIf, WanLatEqLanMatchesResimulationTsp) {
+  const AppConfig cfg = traced_config(2, 4);
+  const apps::TspParams p = small_tsp();
+  const auto run = [&](const AppConfig& c) { return apps::run_tsp(c, p); };
+  const AppResult r = run(cfg);
+  ASSERT_TRUE(r.trace);
+  const trace::causal::Dag dag = trace::causal::build_dag(*r.trace, cfg.net_cfg);
+  EXPECT_LT(projection_error_pct(r, cfg, dag, run), 35.0);
+}
+
+TEST(WhatIf, UnknownScenarioThrows) {
+  EXPECT_THROW(trace::causal::parse_scenario("wan-warp-x9", net::das_config(2, 2)),
+               std::runtime_error);
+  EXPECT_THROW(trace::causal::parse_scenario("wan-bw-x0", net::das_config(2, 2)),
+               std::runtime_error);
+}
+
+TEST(WhatIf, StandardScenariosProjectNoSlowdown) {
+  // Every standard scenario only relaxes a resource, so the projection
+  // must never exceed the observed makespan.
+  const AppConfig cfg = traced_config(2, 2);
+  const AppResult r = apps::run_asp(cfg, small_asp());
+  ASSERT_TRUE(r.trace);
+  const trace::causal::Dag dag = trace::causal::build_dag(*r.trace, cfg.net_cfg);
+  for (const trace::causal::Scenario& sc : trace::causal::standard_scenarios(cfg.net_cfg)) {
+    const trace::causal::Projection pj = trace::causal::what_if(dag, sc);
+    EXPECT_LE(pj.projected, pj.observed) << sc.name;
+    EXPECT_GE(pj.speedup, 1.0) << sc.name;
+  }
+}
+
+// --- faults composition ----------------------------------------------
+
+TEST(CausalFaults, RetriesAppearOnCriticalPathWithFaultBlame) {
+  AppConfig cfg = traced_config(2, 2);
+  cfg.faults.enabled = true;
+  cfg.faults.wan.loss = 0.30;  // heavy loss: retries dominate the path
+  const AppResult r = apps::run_tsp(cfg, small_tsp());
+  ASSERT_EQ(r.status, AppResult::RunStatus::Ok);
+  ASSERT_TRUE(r.trace);
+  EXPECT_GT(r.stats.value("net/fault.retries"), 0.0);
+
+  const trace::causal::Dag dag = trace::causal::build_dag(*r.trace, cfg.net_cfg);
+  const trace::causal::CriticalPath cp = trace::causal::critical_path(dag);
+  expect_telescopes(cp);
+  const auto it = cp.by_blame.find("net/fault.retry");
+  ASSERT_NE(it, cp.by_blame.end())
+      << "faulted run's critical path has no net/fault.retry segments";
+  EXPECT_GT(it->second, 0);
+}
+
+}  // namespace

@@ -226,4 +226,65 @@ TEST(ChromeTrace, ExportHasMetadataAndBalancedEvents) {
   EXPECT_EQ(json, trace::chrome_trace_string(rec.harvest()));
 }
 
+TEST(ChromeTrace, EscapesQuotesBackslashesAndControlChars) {
+  std::ostringstream os;
+  trace::write_json_escaped(os, "a\"b\\c\nd\te\x01" "f");
+  EXPECT_EQ(os.str(), "a\\\"b\\\\c\\nd\\te\\u0001f");
+}
+
+TEST(ChromeTrace, PassesNonAsciiBytesThrough) {
+  // UTF-8 multibyte sequences are valid inside JSON strings; only the
+  // ASCII control range needs \u escapes.
+  std::ostringstream os;
+  trace::write_json_escaped(os, "caf\xc3\xa9 \xe2\x86\x92");
+  EXPECT_EQ(os.str(), "caf\xc3\xa9 \xe2\x86\x92");
+}
+
+TEST(ChromeTrace, EscapedNameSurvivesExport) {
+  trace::Recorder rec(enabled_config(8));
+  rec.set_time(10);
+  rec.instant(trace::Category::App, "weird\"name\n", 0, 1);
+  const std::string json = trace::chrome_trace_string(rec.harvest());
+  EXPECT_NE(json.find("weird\\\"name\\n"), std::string::npos);
+  EXPECT_EQ(json.find("weird\"name"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyTraceIsValidJson) {
+  // A zero-event harvest (or one where every event was dropped) must
+  // still produce well-formed JSON: metadata only, no trailing comma.
+  const std::string json = trace::chrome_trace_string(trace::Trace{});
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+  EXPECT_EQ(json.find(", ]"), std::string::npos);
+}
+
+TEST(ChromeTrace, OnlyDroppedTraceIsValidJson) {
+  trace::Trace t;
+  t.recorded = 100;
+  t.dropped = 100;
+  t.capacity = 0;
+  const std::string json = trace::chrome_trace_string(t);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+}
+
+TEST(ChromeTrace, HighlightSpansEmitCriticalPathTrack) {
+  trace::Recorder rec(enabled_config(8));
+  rec.set_time(100);
+  rec.instant(trace::Category::App, "tick", 0, 1);
+  const std::vector<trace::HighlightSpan> spans = {{"net/wan.latency", 0, 50},
+                                                   {"app/compute", 50, 100}};
+  const std::string plain = trace::chrome_trace_string(rec.harvest());
+  const std::string with = trace::chrome_trace_string(rec.harvest(), spans);
+  // No highlight → byte-identical to the pre-highlight format, so the
+  // determinism gates over default exports are unaffected.
+  EXPECT_EQ(plain.find("critical path"), std::string::npos);
+  EXPECT_NE(with.find("critical path"), std::string::npos);
+  EXPECT_NE(with.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(with.find("net/wan.latency"), std::string::npos);
+  EXPECT_GT(with.size(), plain.size());
+}
+
 }  // namespace

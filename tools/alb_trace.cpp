@@ -22,6 +22,7 @@
 #include "apps/app.hpp"
 #include "net/fault.hpp"
 #include "net/presets.hpp"
+#include "trace/causal/causal.hpp"
 #include "trace/chrome_trace.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -97,9 +98,20 @@ int main(int argc, char** argv) {
   opts.define_flag("faults",
                    "inject the preset WAN fault plan (5% loss, 25% jitter, one flap, "
                    "one brown-out) and report recovery counters");
+  opts.define_flag("critical-path",
+                   "reconstruct the happens-before DAG, print the critical path's "
+                   "per-blame and per-layer breakdown and its top segments");
+  opts.define("topn", "10", "how many critical-path segments to list");
+  opts.define("what-if", "",
+              "comma-separated what-if scenarios to project (wan-lat-eq-lan, "
+              "wan-lat-x<k>, wan-bw-x<k>, seq-local; 'std' = the standard set)");
+  opts.define_flag("validate",
+                   "re-simulate each validatable what-if scenario and report the "
+                   "projection error");
   const apps::AppEntry* entry = nullptr;
   apps::AppConfig cfg;
   bool faults = false;
+  std::vector<trace::causal::Scenario> scenarios;
   try {
     if (!opts.parse(argc, argv)) return 0;
     for (const auto& e : apps::registry()) {
@@ -121,6 +133,18 @@ int main(int argc, char** argv) {
     cfg.trace.engine_events = opts.has_flag("engine-events");
     faults = opts.has_flag("faults");
     if (faults) cfg.faults = fault_preset();
+    if (const std::string& spec = opts.get("what-if"); !spec.empty()) {
+      if (spec == "std") {
+        scenarios = trace::causal::standard_scenarios(cfg.net_cfg);
+      } else {
+        for (std::size_t pos = 0; pos < spec.size();) {
+          const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+          scenarios.push_back(
+              trace::causal::parse_scenario(spec.substr(pos, comma - pos), cfg.net_cfg));
+          pos = comma + 1;
+        }
+      }
+    }
   } catch (const std::exception& e) {
     std::cerr << "alb-trace: " << e.what() << '\n';
     return 2;
@@ -251,6 +275,87 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
 
+  // --- causal critical path + what-if projections --------------------
+  const bool want_cp = opts.has_flag("critical-path");
+  std::vector<trace::HighlightSpan> highlight;
+  if (r.trace && (want_cp || !scenarios.empty())) {
+    const trace::causal::Dag dag = trace::causal::build_dag(*r.trace, cfg.net_cfg);
+    const trace::causal::CriticalPath cp = trace::causal::critical_path(dag);
+    highlight = trace::causal::highlight_track(cp);
+    const auto pct = [&](sim::SimTime part) {
+      return cp.length > 0 ? 100.0 * static_cast<double>(part) / static_cast<double>(cp.length)
+                           : 0.0;
+    };
+    if (want_cp) {
+      std::cout << (csv ? "# critical path\n" : "=== causal critical path ===\n")
+                << "cp_length_s=" << sim::to_seconds(cp.length)
+                << " cp_segments=" << cp.segments.size() << " cp_orphan_ends=" << dag.orphan_ends
+                << " cp_wan_share_pct=" << util::format_fixed(pct(cp.wan_total()), 2) << "\n";
+
+      util::Table bt({"blame", "ms", "share_pct"});
+      for (const auto& [k, v] : cp.by_blame) {
+        bt.row().add(k).add(sim::to_seconds(v) * 1e3, 3).add(pct(v), 2);
+      }
+      std::cout << (csv ? "# critical path by blame\n" : "--- by blame ---\n");
+      if (csv) bt.print_csv(std::cout);
+      else bt.print(std::cout);
+
+      util::Table lt({"layer", "ms", "share_pct"});
+      for (const auto& [k, v] : cp.by_layer) {
+        lt.row().add(k).add(sim::to_seconds(v) * 1e3, 3).add(pct(v), 2);
+      }
+      std::cout << (csv ? "# critical path by layer\n" : "--- by layer ---\n");
+      if (csv) lt.print_csv(std::cout);
+      else lt.print(std::cout);
+
+      const std::size_t topn = static_cast<std::size_t>(opts.get_int("topn"));
+      util::Table st({"start_ms", "dur_ms", "blame", "proto", "at", "sink_event"});
+      for (const trace::causal::Segment& seg : trace::causal::top_segments(cp, topn)) {
+        st.row()
+            .add(sim::to_seconds(seg.begin) * 1e3, 3)
+            .add(sim::to_seconds(seg.dur()) * 1e3, 3)
+            .add(trace::causal::blame(seg.cls, seg.proto))
+            .add(trace::causal::to_string(seg.proto))
+            .add(static_cast<long long>(seg.actor))
+            .add(seg.what);
+      }
+      std::cout << (csv ? "# critical path top segments\n" : "--- top segments ---\n");
+      if (csv) st.print_csv(std::cout);
+      else st.print(std::cout);
+      std::cout << "\n";
+    }
+
+    if (!scenarios.empty()) {
+      const bool validate = opts.has_flag("validate");
+      util::Table wt({"scenario", "observed_s", "projected_s", "speedup", "actual_s", "err_pct"});
+      for (const trace::causal::Scenario& sc : scenarios) {
+        const trace::causal::Projection pj = trace::causal::what_if(dag, sc);
+        auto& row = wt.row()
+                        .add(sc.name)
+                        .add(sim::to_seconds(pj.observed), 6)
+                        .add(sim::to_seconds(pj.projected), 6)
+                        .add(pj.speedup, 3);
+        if (validate && sc.validatable) {
+          apps::AppConfig vcfg = cfg;
+          vcfg.net_cfg = trace::causal::apply_scenario(sc, cfg.net_cfg);
+          vcfg.trace.enabled = false;  // reality check only needs elapsed
+          const apps::AppResult vr = entry->run(vcfg);
+          const double err = vr.elapsed > 0
+                                 ? 100.0 * (static_cast<double>(pj.projected - vr.elapsed)) /
+                                       static_cast<double>(vr.elapsed)
+                                 : 0.0;
+          row.add(sim::to_seconds(vr.elapsed), 6).add(err, 2);
+        } else {
+          row.add(std::string("-")).add(std::string("-"));
+        }
+      }
+      std::cout << (csv ? "# what-if projections\n" : "=== what-if projections ===\n");
+      if (csv) wt.print_csv(std::cout);
+      else wt.print(std::cout);
+      std::cout << "\n";
+    }
+  }
+
   // --- artifact files ------------------------------------------------
   auto write_file = [](const std::string& path, auto&& writer) {
     std::ofstream os(path, std::ios::binary);
@@ -264,7 +369,7 @@ int main(int argc, char** argv) {
   };
   bool ok = true;
   if (const std::string& p = opts.get("trace-out"); !p.empty()) {
-    ok &= write_file(p, [&](std::ostream& os) { trace::write_chrome_trace(*r.trace, os); });
+    ok &= write_file(p, [&](std::ostream& os) { trace::write_chrome_trace(*r.trace, os, highlight); });
   }
   if (const std::string& p = opts.get("metrics-out"); !p.empty()) {
     ok &= write_file(p, [&](std::ostream& os) { r.stats.write_csv(os); });

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare a bench_engine JSON result against a tracked baseline.
+
+Matches benches by name and fails (exit 1) if any bench's events_per_sec
+regressed by more than the tolerance fraction versus the baseline.
+Benches present on only one side are reported but are not failures, so
+adding a microbench does not break the gate retroactively.
+
+Usage:
+  tools/bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.25]
+
+The default tolerance is deliberately loose (25%): the gate exists to
+catch "tracing-off suddenly costs something" class regressions, not to
+flake on machine noise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benches(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: b for b in doc.get("benches", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional slowdown in events_per_sec (default 0.25)")
+    args = ap.parse_args()
+
+    base = load_benches(args.baseline)
+    cur = load_benches(args.current)
+
+    rows = []
+    failed = []
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            rows.append((name, None, cur[name]["events_per_sec"], None, "new"))
+            continue
+        if name not in cur:
+            rows.append((name, base[name]["events_per_sec"], None, None, "missing"))
+            continue
+        b = base[name]["events_per_sec"]
+        c = cur[name]["events_per_sec"]
+        ratio = c / b if b else float("inf")
+        ok = ratio >= 1.0 - args.tolerance
+        rows.append((name, b, c, ratio, "ok" if ok else "REGRESSED"))
+        if not ok:
+            failed.append(name)
+
+    w = max(len(r[0]) for r in rows) if rows else 4
+    print(f"{'bench':{w}}  {'base ev/s':>12}  {'cur ev/s':>12}  {'ratio':>6}  verdict")
+    for name, b, c, ratio, verdict in rows:
+        bs = f"{b:12.0f}" if b is not None else f"{'-':>12}"
+        cs = f"{c:12.0f}" if c is not None else f"{'-':>12}"
+        rs = f"{ratio:6.3f}" if ratio is not None else f"{'-':>6}"
+        print(f"{name:{w}}  {bs}  {cs}  {rs}  {verdict}")
+
+    if failed:
+        print(f"FAIL: {', '.join(failed)} slower than baseline by more than "
+              f"{args.tolerance:.0%}", file=sys.stderr)
+        return 1
+    print(f"all matched benches within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,13 @@ echo "=== bench smoke ==="
 ./build-release/bench/bench_engine --smoke --json build-release/BENCH_engine.smoke.json
 ./build-release/bench/bench_campaign --quick --json build-release/BENCH_campaign.smoke.json
 
+echo "=== perf gate: bench_engine vs tracked baseline ==="
+# Full (non-smoke) run so the numbers are comparable to the baseline;
+# tolerance lives in bench_compare.py (default 25%).
+./build-release/bench/bench_engine --json build-release/BENCH_engine.gate.json > /dev/null
+python3 tools/bench_compare.py results/BENCH_engine.baseline.json \
+  build-release/BENCH_engine.gate.json
+
 echo "=== observability smoke: traced run + artifact validation ==="
 ./build-release/tools/alb-trace --app ASP --clusters 2 --per 4 \
   --trace-out build-release/alb-trace.smoke.json \
@@ -72,6 +79,38 @@ assert metrics["counters"]["net/wan.table.bcast.msgs"] > 0, "no WAN broadcast tr
 print(f"trace OK: {len(trace['traceEvents'])} events; "
       f"{len(metrics['counters'])} counters")
 EOF
+
+echo "=== causal analysis: critical path + what-if gates ==="
+# The §4 story as an executable assertion: the per-cluster-queue TSP
+# optimization must shrink the critical path's WAN share.
+CP_ARGS=(--app TSP --clusters 4 --per 15 --csv --critical-path)
+./build-release/tools/alb-trace "${CP_ARGS[@]}" > build-release/alb-trace.cp.orig.csv
+./build-release/tools/alb-trace "${CP_ARGS[@]}" --opt > build-release/alb-trace.cp.opt.csv
+python3 - <<'EOF'
+import re
+def wan_share(path):
+    for line in open(path):
+        m = re.search(r"cp_wan_share_pct=([0-9.]+)", line)
+        if m:
+            return float(m.group(1))
+    raise SystemExit(f"{path}: no cp_wan_share_pct line")
+orig = wan_share("build-release/alb-trace.cp.orig.csv")
+opt = wan_share("build-release/alb-trace.cp.opt.csv")
+assert opt < orig, f"optimized TSP WAN share did not drop: {orig} -> {opt}"
+print(f"critical-path WAN share: orig {orig}% -> opt {opt}% OK")
+EOF
+# What-if output (and the whole causal pipeline) must be byte-identical
+# across campaign --jobs values.
+./build-release/bench/bench_causal --quick --csv --jobs 1 \
+  --json build-release/BENCH_causal.j1.json \
+  | grep -v '^wrote ' > build-release/bench_causal.j1.csv
+./build-release/bench/bench_causal --quick --csv --jobs 4 \
+  --json build-release/BENCH_causal.j4.json \
+  | grep -v '^wrote ' > build-release/bench_causal.j4.csv
+diff build-release/bench_causal.j1.csv build-release/bench_causal.j4.csv \
+  || { echo "bench_causal: parallel CSV differs from sequential"; exit 1; }
+diff build-release/BENCH_causal.j1.json build-release/BENCH_causal.j4.json \
+  || { echo "bench_causal: parallel JSON differs from sequential"; exit 1; }
 
 echo "=== resilience: faulted determinism + disabled-plan no-op gates ==="
 # Same (seed, plan) must reproduce every table byte-for-byte, twice in a
