@@ -34,6 +34,14 @@ struct AppConfig {
   /// Run the wide-area-optimized variant instead of the original.
   bool optimized = false;
   std::uint64_t seed = 42;
+  /// Cooperating engine partitions (one per cluster at most). 1 is the
+  /// sequential reference schedule; any valid N produces byte-identical
+  /// results — elapsed, checksum, trace_hash, traffic, trace. Values
+  /// outside [1, clusters] are rejected with net::ConfigError.
+  int partitions = 1;
+  /// Worker threads for the partitioned epoch loop (0 = auto:
+  /// min(partitions, hardware_concurrency)). Never changes output.
+  int threads = 0;
   /// Flight-recorder settings (off by default; see src/trace/trace.hpp).
   /// Metrics are collected regardless — only event recording is gated.
   trace::Config trace;
@@ -92,7 +100,7 @@ struct Harness {
   orca::Runtime rt;
 
   Harness(const AppConfig& cfg, orca::Runtime::Config rtc = {})
-      : trace(cfg.trace), net(attach(eng, trace), patch(cfg), cfg.faults, cfg.seed),
+      : trace(cfg.trace), net(prepare(eng, trace, cfg), patch(cfg), cfg.faults, cfg.seed),
         rt(net, rtc) {}
 
   /// Spawns, runs to completion and fills in elapsed + traffic +
@@ -123,18 +131,34 @@ struct Harness {
     rt.publish_metrics(trace.metrics());
     *trace.metrics().counter("sim/compute_ns") = static_cast<std::uint64_t>(computed);
     r.stats = trace.metrics().snapshot();
-    if (alb::trace::Recorder* rec = trace.recorder()) {
-      r.trace = std::make_shared<const alb::trace::Trace>(rec->harvest());
+    if (trace.config().enabled) {
+      // harvest_merged() k-way merges the per-owner recorder shards into
+      // the canonical stream (identical for every partition count).
+      r.trace = std::make_shared<const alb::trace::Trace>(trace.harvest_merged());
     }
     return r;
   }
 
  private:
-  /// Member-initialization shim: attaches the session to the engine
-  /// before Network's constructor runs (Network caches the recorder and
-  /// its histograms from the engine at construction).
-  static sim::Engine& attach(sim::Engine& e, alb::trace::Session& s) {
+  /// Member-initialization shim: validates the partition request,
+  /// shards the trace session per owner, attaches it to the engine and
+  /// configures the partitioned engine — all before Network's
+  /// constructor runs (Network caches the recorder shards and respects
+  /// an already-configured engine).
+  static sim::Engine& prepare(sim::Engine& e, alb::trace::Session& s, const AppConfig& cfg) {
+    if (cfg.partitions < 1 || cfg.partitions > cfg.clusters) {
+      throw net::ConfigError("app: partitions must be in [1, clusters] (got " +
+                             std::to_string(cfg.partitions) + " with " +
+                             std::to_string(cfg.clusters) + " cluster(s))");
+    }
+    s.shard_by_owner(cfg.clusters);
     e.attach_trace(&s);
+    sim::PartitionConfig pc;
+    pc.owners = cfg.clusters;
+    pc.partitions = cfg.partitions;
+    pc.lookahead = patch(cfg).min_intercluster_latency();
+    pc.threads = cfg.threads;
+    e.configure(pc);
     return e;
   }
 

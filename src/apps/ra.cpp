@@ -235,6 +235,19 @@ AppResult run_ra(const AppConfig& cfg, const RaParams& params) {
   std::vector<std::int16_t> pending(n, 0);
   std::vector<char> blocked(n, 0);
   std::vector<std::vector<std::uint32_t>> preds(n);
+  // Within-k edges discovered by the init scan, staged per *writer*
+  // rank: an edge (q -> v) is found by q's owner but consumed by v's
+  // owner, so writing preds[v] directly from the scan would be a
+  // cross-owner write — racy under partitioned execution, and its
+  // ordering would depend on how the scan coroutines interleave.
+  // Instead each rank appends to its own lane and every owner collects
+  // its positions' predecessors after the barrier, in rank order —
+  // canonical for every partition and thread count.
+  struct Edge {
+    std::uint32_t pred;  // q: the position that must be re-examined
+    std::uint32_t succ;  // v: the successor whose value determines it
+  };
+  std::vector<std::vector<Edge>> edge_stage(static_cast<std::size_t>(P));
 
   auto owner_of = [P](std::uint32_t idx) {
     return static_cast<int>((static_cast<std::uint64_t>(idx) * 2654435761ull) % P);
@@ -283,12 +296,8 @@ AppResult run_ra(const AppConfig& cfg, const RaParams& params) {
     };
 
     // Initialization scan over my positions: generate successor lists,
-    // determine immediate values, build predecessor lists (owner-local
-    // halves are built here; remote predecessor registration happens via
-    // the same scan on the predecessor's owner — every process scans its
-    // own positions, so each within-k edge (q -> v) is recorded by q's
-    // owner into the shared preds[v]; owner(v) reads it only after the
-    // global barrier below).
+    // determine immediate values, and stage every within-k edge
+    // (idx -> s.index) in this rank's lane of edge_stage.
     long long scanned = 0;
     for (std::uint32_t idx = 0; idx < n; ++idx) {
       if (owner_of(idx) != p.rank) continue;
@@ -307,7 +316,7 @@ AppResult run_ra(const AppConfig& cfg, const RaParams& params) {
           else if (v != kWin) blk = true;
         } else {
           ++within;
-          preds[s.index].push_back(idx);
+          edge_stage[static_cast<std::size_t>(p.rank)].push_back(Edge{idx, s.index});
         }
       }
       if (win) {
@@ -323,8 +332,18 @@ AppResult run_ra(const AppConfig& cfg, const RaParams& params) {
     }
     co_await p.compute((scanned % 512) * params.ns_per_position);
 
-    // All predecessor lists must be complete before propagation starts.
+    // All edge lanes must be complete before anyone reads them; the
+    // barrier is the happens-before edge that publishes every rank's
+    // staged writes.
     co_await h.rt.barrier(p);
+
+    // Collect my positions' predecessor lists, visiting lanes in rank
+    // order so preds[v] is identical however the scan interleaved.
+    for (int r = 0; r < P; ++r) {
+      for (const Edge& e : edge_stage[static_cast<std::size_t>(r)]) {
+        if (owner_of(e.succ) == p.rank) preds[e.succ].push_back(e.pred);
+      }
+    }
 
     // Seed propagation with my initially-determined positions.
     for (std::uint32_t idx = 0; idx < n; ++idx) {

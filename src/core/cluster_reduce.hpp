@@ -142,7 +142,9 @@ class ClusterReducer {
   ClusterReducer(orca::Runtime& rt, std::size_t bytes_per_update, Combine combine,
                  ApplyAtOwner apply, bool enabled = true)
       : rt_(&rt), bytes_(bytes_per_update), combine_(std::move(combine)),
-        apply_(std::move(apply)), enabled_(enabled) {}
+        apply_(std::move(apply)), enabled_(enabled),
+        partial_(static_cast<std::size_t>(rt.network().topology().clusters())),
+        wan_updates_(static_cast<std::size_t>(rt.network().topology().clusters()), 0) {}
 
   /// Contributes `u` toward `owner_rank` for `epoch`. Completes when the
   /// update has been accepted (at the coordinator on the optimized path,
@@ -171,7 +173,13 @@ class ClusterReducer {
     (void)co_await rt_->rpc_blocking(p.node, coord_node, bytes_, kAckBytes, std::move(op));
   }
 
-  std::uint64_t wan_updates() const { return wan_updates_; }
+  /// WAN-bound update sends, summed over the per-cluster shards
+  /// (post-run view).
+  std::uint64_t wan_updates() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t c : wan_updates_) n += c;
+    return n;
+  }
 
  private:
   static constexpr std::size_t kAckBytes = 8;
@@ -183,7 +191,9 @@ class ClusterReducer {
   }
 
   sim::Task<void> send_to_owner(net::NodeId from, int owner_rank, Update u) {
-    ++wan_updates_;
+    // Shard by the sending context's cluster: direct-path contributors
+    // and coordinators run in their own cluster's partition.
+    ++wan_updates_[static_cast<std::size_t>(rt_->network().topology().cluster_of(from))];
     ClusterReducer* self = this;
     auto boxed = std::make_shared<Update>(std::move(u));
     std::function<std::shared_ptr<const void>()> op =
@@ -202,28 +212,30 @@ class ClusterReducer {
   /// through its own expected-contribution accounting.
   sim::Task<void> accumulate(net::NodeId coord_node, net::ClusterId cluster, int owner_rank,
                              std::uint64_t epoch, Update u, int expected) {
-    const Key key{cluster, owner_rank, epoch};
-    auto it = partial_.find(key);
-    if (it == partial_.end()) {
-      it = partial_.emplace(key, Partial{std::move(u), 1}).first;
+    // Per-cluster shard: accumulate only ever runs at `cluster`'s own
+    // coordinator (contributors RPC into their local coordinator), so
+    // each shard stays confined to one partition.
+    auto& shard = partial_[static_cast<std::size_t>(cluster)];
+    const Key key{owner_rank, epoch};
+    auto it = shard.find(key);
+    if (it == shard.end()) {
+      it = shard.emplace(key, Partial{std::move(u), 1}).first;
     } else {
       it->second.value = combine_(std::move(it->second.value), u);
       ++it->second.count;
     }
     if (it->second.count == expected) {
       Update combined = std::move(it->second.value);
-      partial_.erase(it);
+      shard.erase(it);
       rt_->engine().spawn(send_to_owner(coord_node, owner_rank, std::move(combined)));
     }
     co_return;
   }
 
   struct Key {
-    net::ClusterId cluster;
     int owner;
     std::uint64_t epoch;
     bool operator<(const Key& o) const {
-      if (cluster != o.cluster) return cluster < o.cluster;
       if (owner != o.owner) return owner < o.owner;
       return epoch < o.epoch;
     }
@@ -238,8 +250,10 @@ class ClusterReducer {
   Combine combine_;
   ApplyAtOwner apply_;
   bool enabled_;
-  std::map<Key, Partial> partial_;
-  std::uint64_t wan_updates_ = 0;
+  /// In-flight combines, sharded by the coordinator's cluster.
+  std::vector<std::map<Key, Partial>> partial_;
+  /// WAN sends, sharded by the sending cluster (summed post-run).
+  std::vector<std::uint64_t> wan_updates_;
 };
 
 }  // namespace alb::wide

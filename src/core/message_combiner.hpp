@@ -46,7 +46,8 @@ class ClusterCombiner {
         sent_(static_cast<std::size_t>(rt.nprocs()), 0),
         delivered_(static_cast<std::size_t>(rt.nprocs()), 0),
         buffers_(static_cast<std::size_t>(rt.network().topology().clusters()) *
-                 static_cast<std::size_t>(rt.network().topology().clusters())) {
+                 static_cast<std::size_t>(rt.network().topology().clusters())),
+        combined_shards_(static_cast<std::size_t>(rt.network().topology().clusters()), 0) {
     const auto& topo = rt.network().topology();
     for (int n = 0; n < topo.num_compute(); ++n) {
       // Direct item (intracluster, or unoptimized intercluster).
@@ -124,7 +125,13 @@ class ClusterCombiner {
     return delivered_[static_cast<std::size_t>(rank)];
   }
 
-  std::uint64_t combined_messages() const { return combined_messages_; }
+  /// Combined WAN shipments, summed over the per-cluster shards
+  /// (post-run view).
+  std::uint64_t combined_messages() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t c : combined_shards_) n += c;
+    return n;
+  }
 
  private:
   struct Handoff {
@@ -169,7 +176,9 @@ class ClusterCombiner {
     std::vector<Addressed> batch;
     batch.swap(buf);
     const std::size_t bytes = batch.size() * opt_.item_bytes;
-    ++combined_messages_;
+    // flush_buffer(from, ·) only runs in cluster `from`'s context (its
+    // relay's handlers or its members' flush()), so shard by `from`.
+    ++combined_shards_[static_cast<std::size_t>(from)];
     net::Message m;
     m.src = static_cast<net::NodeId>(relay_rank(from));
     m.dst = static_cast<net::NodeId>(relay_rank(to));
@@ -219,9 +228,12 @@ class ClusterCombiner {
   Deliver deliver_;
   std::vector<std::uint64_t> sent_;
   std::vector<std::uint64_t> delivered_;
+  // Every buffer element below is only touched in the context of the
+  // cluster that indexes it (senders and relays of `from` / `src`),
+  // which keeps the combining machinery race-free when partitioned.
   std::vector<std::vector<Addressed>> buffers_;       // (from, to) cluster pairs
   std::vector<std::vector<Item>> sender_buffers_;     // (src, dst) rank pairs
-  std::uint64_t combined_messages_ = 0;
+  std::vector<std::uint64_t> combined_shards_;        // per source cluster
 };
 
 }  // namespace alb::wide

@@ -47,7 +47,8 @@ class StealScheduler {
         deques_(std::make_shared<std::vector<std::deque<Job>>>(
             static_cast<std::size_t>(rt.nprocs()))),
         idle_(orca::create_replicated<IdleSet>(
-            rt, IdleSet{std::vector<char>(static_cast<std::size_t>(rt.nprocs()), 0)})) {}
+            rt, IdleSet{std::vector<char>(static_cast<std::size_t>(rt.nprocs()), 0)})),
+        stats_shards_(static_cast<std::size_t>(rt.network().topology().clusters())) {}
 
   /// Local deque operations — no communication.
   void push_local(const orca::Proc& p, Job j) {
@@ -94,13 +95,15 @@ class StealScheduler {
   /// empty. Steal RPCs take jobs from the FIFO end (the victim's oldest,
   /// largest subtrees).
   sim::Task<std::optional<std::vector<Job>>> steal(const orca::Proc& p) {
+    // The thief's own cluster shard — steal() runs in p's partition.
+    Stats& st = stats_shards_[static_cast<std::size_t>(p.cluster())];
     for (int victim : victim_order(p)) {
       if (opt_.remember_empty && idle_.local(p).idle[static_cast<std::size_t>(victim)]) {
-        ++stats_.skipped_idle;
+        ++st.skipped_idle;
         continue;
       }
-      ++stats_.attempts;
-      if (!p.same_cluster(victim)) ++stats_.remote_attempts;
+      ++st.attempts;
+      if (!p.same_cluster(victim)) ++st.remote_attempts;
       const int chunk = opt_.steal_chunk;
       auto deques = deques_;
       // Steal RPC executed at the victim's node; reply carries the jobs.
@@ -120,7 +123,7 @@ class StealScheduler {
                                        std::move(op));
       const auto& got = *static_cast<const std::vector<Job>*>(payload.get());
       if (!got.empty()) {
-        ++stats_.successes;
+        ++st.successes;
         co_return got;
       }
     }
@@ -133,7 +136,17 @@ class StealScheduler {
     std::uint64_t successes = 0;
     std::uint64_t skipped_idle = 0;
   };
-  const Stats& stats() const { return stats_; }
+  /// Sum over the per-cluster shards (post-run view).
+  Stats stats() const {
+    Stats s;
+    for (const Stats& sh : stats_shards_) {
+      s.attempts += sh.attempts;
+      s.remote_attempts += sh.remote_attempts;
+      s.successes += sh.successes;
+      s.skipped_idle += sh.skipped_idle;
+    }
+    return s;
+  }
 
  private:
   static constexpr std::size_t kStealRequestBytes = 16;
@@ -173,7 +186,8 @@ class StealScheduler {
   /// addressed to the victim's node.
   std::shared_ptr<std::vector<std::deque<Job>>> deques_;
   orca::Replicated<IdleSet> idle_;
-  Stats stats_;
+  /// Steal accounting, sharded by the thief's cluster.
+  std::vector<Stats> stats_shards_;
 };
 
 }  // namespace alb::wide

@@ -5,6 +5,18 @@
 
 namespace alb::net {
 
+namespace {
+
+/// SplitMix64 finalizer; decorrelates the per-cluster streams from one
+/// another without consuming draws.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 std::string FailureInfo::describe() const {
   std::string what;
   switch (kind) {
@@ -15,12 +27,21 @@ std::string FailureInfo::describe() const {
          std::to_string(op_id) + ") timed out after " + std::to_string(attempts) + " attempts";
 }
 
-FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed, trace::Metrics* metrics)
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed, trace::Metrics* metrics,
+                             int clusters)
     : plan_(std::move(plan)), recovery_active_(plan_.can_drop()) {
   assert(plan_.enabled && "construct an injector only for enabled plans");
-  // Decorrelate from the workload streams (procs reseed at 0x5eed0000):
-  // the fault stream must not replay an application's draws.
-  rng_.reseed(seed ^ 0xfa017'5eedull);
+  assert(clusters >= 1);
+  streams_.resize(static_cast<std::size_t>(clusters));
+  fail_.resize(static_cast<std::size_t>(clusters));
+  for (std::size_t c = 0; c < streams_.size(); ++c) {
+    // Decorrelate from the workload streams (procs reseed at 0x5eed0000):
+    // the fault streams must not replay an application's draws. Cluster
+    // 0 keeps the legacy seed salt so single-stream unit tests pin the
+    // historical draw sequence; higher clusters mix their index in.
+    const std::uint64_t base = seed ^ 0xfa017'5eedull;
+    streams_[c].rng.reseed(c == 0 ? base : base ^ mix64(static_cast<std::uint64_t>(c)));
+  }
   if (metrics) {
     h_drop_bytes_[0] = metrics->histogram("net/fault.drop_bytes.lan");
     h_drop_bytes_[1] = metrics->histogram("net/fault.drop_bytes.access");
@@ -37,36 +58,40 @@ const LinkFaults& FaultInjector::faults_for(LinkClass c) const {
   return plan_.lan;
 }
 
-sim::SimTime FaultInjector::jitter_latency(LinkClass c, sim::SimTime t) {
+sim::SimTime FaultInjector::jitter_latency(LinkClass c, sim::SimTime t, ClusterId stream) {
   const double j = faults_for(c).latency_jitter;
   if (j <= 0.0 || t <= 0) return t;
-  return t + static_cast<sim::SimTime>(static_cast<double>(t) * j * rng_.uniform());
+  sim::Rng& rng = streams_[static_cast<std::size_t>(stream)].rng;
+  return t + static_cast<sim::SimTime>(static_cast<double>(t) * j * rng.uniform());
 }
 
-sim::SimTime FaultInjector::jitter_serialize(LinkClass c, sim::SimTime t) {
+sim::SimTime FaultInjector::jitter_serialize(LinkClass c, sim::SimTime t, ClusterId stream) {
   const double j = faults_for(c).bandwidth_jitter;
   if (j <= 0.0 || t <= 0) return t;
-  return t + static_cast<sim::SimTime>(static_cast<double>(t) * j * rng_.uniform());
+  sim::Rng& rng = streams_[static_cast<std::size_t>(stream)].rng;
+  return t + static_cast<sim::SimTime>(static_cast<double>(t) * j * rng.uniform());
 }
 
-bool FaultInjector::lose(LinkClass c) {
+bool FaultInjector::lose(LinkClass c, ClusterId stream) {
+  ClusterStream& s = streams_[static_cast<std::size_t>(stream)];
   if (c == LinkClass::Wan && !plan_.force_drop.empty()) {
-    const std::uint64_t idx = wan_drop_index_++;
-    if (std::find(plan_.force_drop.begin(), plan_.force_drop.end(), idx) !=
-        plan_.force_drop.end()) {
+    const std::uint64_t idx = s.wan_drop_index++;
+    if ((plan_.force_drop_from < 0 || plan_.force_drop_from == stream) &&
+        std::find(plan_.force_drop.begin(), plan_.force_drop.end(), idx) !=
+            plan_.force_drop.end()) {
       return true;
     }
   } else if (c == LinkClass::Wan) {
-    ++wan_drop_index_;
+    ++s.wan_drop_index;
   }
   const double p = faults_for(c).loss;
   if (p <= 0.0) return false;
-  return rng_.uniform() < p;
+  return s.rng.uniform() < p;
 }
 
-bool FaultInjector::lose_extra(double p) {
+bool FaultInjector::lose_extra(double p, ClusterId stream) {
   if (p <= 0.0) return false;
-  return rng_.uniform() < p;
+  return streams_[static_cast<std::size_t>(stream)].rng.uniform() < p;
 }
 
 std::optional<sim::SimTime> FaultInjector::flapped_until(ClusterId from, ClusterId to,
@@ -90,57 +115,92 @@ FaultInjector::GatewayState FaultInjector::gateway_state(ClusterId c, sim::SimTi
   return gs;
 }
 
-void FaultInjector::count_drop(LinkClass c, std::size_t bytes, DropCause cause) {
+void FaultInjector::count_drop(LinkClass c, std::size_t bytes, DropCause cause, ClusterId at) {
   switch (cause) {
-    case DropCause::Loss: ++drops_loss_; break;
-    case DropCause::Flap: ++drops_flap_; break;
-    case DropCause::Brownout: ++drops_brownout_; break;
+    case DropCause::Loss: drops_loss_.fetch_add(1, std::memory_order_relaxed); break;
+    case DropCause::Flap: drops_flap_.fetch_add(1, std::memory_order_relaxed); break;
+    case DropCause::Brownout: drops_brownout_.fetch_add(1, std::memory_order_relaxed); break;
   }
   const auto ci = static_cast<std::size_t>(c);
-  ++drops_by_class_[ci];
-  if (h_drop_bytes_[ci]) h_drop_bytes_[ci]->add(bytes);
+  drops_by_class_[ci].fetch_add(1, std::memory_order_relaxed);
+  if (h_drop_bytes_[ci]) streams_[static_cast<std::size_t>(at)].drop_bytes[ci].add(bytes);
 }
 
 void FaultInjector::count_flap_hold(sim::SimTime delay) {
-  ++flap_holds_;
-  flap_hold_ns_ += delay;
+  flap_holds_.fetch_add(1, std::memory_order_relaxed);
+  flap_hold_ns_.fetch_add(static_cast<std::uint64_t>(delay), std::memory_order_relaxed);
 }
 
-void FaultInjector::fail(FailureInfo info) {
-  if (failure_) return;  // first failure wins; later give-ups just unwind
-  failure_ = info;
-  failure_eptr_ = std::make_exception_ptr(HardFailure(info));
-  // Fan out: error every parked waiter so all processes unwind. Moving
-  // the list out keeps a callback from re-entering the loop.
-  std::vector<std::function<void()>> cbs = std::move(on_fail_);
-  on_fail_.clear();
-  for (auto& cb : cbs) cb();
+void FaultInjector::fail(ClusterId cluster, sim::SimTime time, FailureInfo info) {
+  ClusterFailure& f = fail_[static_cast<std::size_t>(cluster)];
+  if (f.failed) return;  // first failure per cluster wins; later give-ups just unwind
+  f.failed = true;
+  f.time = time;
+  f.info = info;
+  f.eptr = std::make_exception_ptr(HardFailure(info));
+  // Fan out: error this cluster's parked waiters (and let the runtime
+  // propagate to other clusters with lookahead delay). Copying the list
+  // keeps a callback from re-entering the loop.
+  const std::vector<std::function<void(ClusterId, const FailureInfo&)>> cbs = on_fail_;
+  for (const auto& cb : cbs) cb(cluster, info);
 }
 
-std::exception_ptr FaultInjector::failure_eptr() const {
-  assert(failure_eptr_ && "failure_eptr() before fail()");
-  return failure_eptr_;
+bool FaultInjector::failed() const {
+  for (const ClusterFailure& f : fail_) {
+    if (f.failed) return true;
+  }
+  return false;
+}
+
+const std::optional<FailureInfo>& FaultInjector::failure() const {
+  // Earliest (time, cluster) recorded failure. Propagated copies carry
+  // the origin's info, so whichever slot wins describes a real origin.
+  merged_failure_.reset();
+  sim::SimTime best = 0;
+  for (const ClusterFailure& f : fail_) {
+    if (!f.failed) continue;
+    if (!merged_failure_ || f.time < best) {
+      merged_failure_ = f.info;
+      best = f.time;
+    }
+  }
+  return merged_failure_;
+}
+
+std::exception_ptr FaultInjector::failure_eptr(ClusterId cluster) const {
+  const ClusterFailure& f = fail_[static_cast<std::size_t>(cluster)];
+  assert(f.eptr && "failure_eptr() before fail() for this cluster");
+  return f.eptr;
 }
 
 void FaultInjector::publish_metrics(trace::Metrics& m) const {
+  const auto ld = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
   *m.counter("net/fault.drops") = drops();
-  *m.counter("net/fault.drops.loss") = drops_loss_;
-  *m.counter("net/fault.drops.flap") = drops_flap_;
-  *m.counter("net/fault.drops.brownout") = drops_brownout_;
-  *m.counter("net/fault.drops.lan") = drops_by_class_[0];
-  *m.counter("net/fault.drops.access") = drops_by_class_[1];
-  *m.counter("net/fault.drops.wan") = drops_by_class_[2];
-  *m.counter("net/fault.holds.flap") = flap_holds_;
-  *m.counter("net/fault.hold_ns.flap") = static_cast<std::uint64_t>(flap_hold_ns_);
-  *m.counter("net/fault.brownout.slowed") = brownout_slowed_;
-  *m.counter("net/fault.retries") = retries_;
-  *m.counter("net/fault.timeouts.rpc") = rpc_timeouts_;
-  *m.counter("net/fault.timeouts.seq") = seq_timeouts_;
-  *m.counter("net/fault.dup.rpc_requests") = dup_rpc_requests_;
-  *m.counter("net/fault.dup.rpc_replies") = dup_rpc_replies_;
-  *m.counter("net/fault.dup.seq_requests") = dup_seq_requests_;
-  *m.counter("net/fault.dup.seq_grants") = dup_seq_grants_;
-  *m.counter("net/fault.hard_failures") = failure_ ? 1 : 0;
+  *m.counter("net/fault.drops.loss") = ld(drops_loss_);
+  *m.counter("net/fault.drops.flap") = ld(drops_flap_);
+  *m.counter("net/fault.drops.brownout") = ld(drops_brownout_);
+  *m.counter("net/fault.drops.lan") = ld(drops_by_class_[0]);
+  *m.counter("net/fault.drops.access") = ld(drops_by_class_[1]);
+  *m.counter("net/fault.drops.wan") = ld(drops_by_class_[2]);
+  *m.counter("net/fault.holds.flap") = ld(flap_holds_);
+  *m.counter("net/fault.hold_ns.flap") = ld(flap_hold_ns_);
+  *m.counter("net/fault.brownout.slowed") = ld(brownout_slowed_);
+  *m.counter("net/fault.retries") = ld(retries_);
+  *m.counter("net/fault.timeouts.rpc") = ld(rpc_timeouts_);
+  *m.counter("net/fault.timeouts.seq") = ld(seq_timeouts_);
+  *m.counter("net/fault.dup.rpc_requests") = ld(dup_rpc_requests_);
+  *m.counter("net/fault.dup.rpc_replies") = ld(dup_rpc_replies_);
+  *m.counter("net/fault.dup.seq_requests") = ld(dup_seq_requests_);
+  *m.counter("net/fault.dup.seq_grants") = ld(dup_seq_grants_);
+  *m.counter("net/fault.hard_failures") = failed() ? 1 : 0;
+  // Merge the per-cluster dropped-bytes shards into the registry
+  // histograms (post-run, single-threaded).
+  for (std::size_t ci = 0; ci < 3; ++ci) {
+    if (!h_drop_bytes_[ci]) continue;
+    for (const ClusterStream& s : streams_) h_drop_bytes_[ci]->merge(s.drop_bytes[ci]);
+  }
 }
 
 }  // namespace alb::net

@@ -5,12 +5,22 @@
 // network: per-link-class latency/bandwidth jitter, probabilistic loss
 // of *droppable* traffic, timed WAN link-flap windows, and gateway
 // brown-out intervals. The plan is part of AppConfig, and every random
-// decision is drawn from one dedicated xoshiro stream seeded from the
+// decision is drawn from a dedicated xoshiro stream seeded from the
 // run's seed, so a (seed, plan) pair reproduces the same drops and the
 // same trace hash — including across campaign `--jobs` values. A
 // disabled plan constructs no injector at all: the fault path then
 // costs one null-pointer check and the run is byte-identical to a
 // build without this subsystem.
+//
+// Partitioned runs: every decision site executes in exactly one
+// cluster's engine context, and the injector keeps one RNG stream, one
+// force-drop index and one failure slot *per cluster*, indexed by that
+// context. Each cluster therefore consumes its streams in its own
+// canonical event order, which is identical for `--partitions 1` and
+// `--partitions N` — fault decisions stay byte-reproducible across
+// partition and thread counts. Accounting counters are relaxed atomics
+// (sums are order-independent); histograms are sharded per cluster and
+// merged at publish time.
 //
 // Traffic is split into two service classes. Messages whose sender can
 // recover end-to-end (RPC requests/replies and sequencer
@@ -22,6 +32,7 @@
 // window closes, but never dropped, so protocols without a retry path
 // cannot wedge. docs/RESILIENCE.md specifies the full model.
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -122,9 +133,13 @@ struct FaultPlan {
   RecoveryParams recovery;
 
   /// Deterministic targeted drops for tests: the i-th droppable message
-  /// reaching the WAN loss checkpoint is discarded iff i is listed here
-  /// (0-based, independent of the probabilistic `loss` draw).
+  /// (0-based, counted per *source cluster* so the coordinate system is
+  /// partition-independent) reaching the WAN loss checkpoint is
+  /// discarded iff i is listed here — independent of the probabilistic
+  /// `loss` draw. `force_drop_from` restricts the rule to messages
+  /// sourced from one cluster (-1 applies it to every cluster's index).
   std::vector<std::uint64_t> force_drop;
+  ClusterId force_drop_from = -1;
 
   /// True when the plan can discard traffic, i.e. the Orca runtime must
   /// arm its timeout/retry protocol. Jitter-only plans return false and
@@ -166,15 +181,18 @@ class HardFailure : public std::runtime_error {
 };
 
 /// One per Network (and therefore per run). Engine-free: callers pass
-/// the current simulated time where a decision depends on it, so the
-/// injector can be unit-tested without an event loop.
+/// the current simulated time (and the deciding cluster) where a
+/// decision depends on it, so the injector can be unit-tested without
+/// an event loop.
 class FaultInjector {
  public:
   enum class DropCause : std::uint8_t { Loss, Flap, Brownout };
 
   /// `metrics` (nullable) registers the per-class dropped-bytes
   /// histograms; counters are published later via publish_metrics().
-  FaultInjector(FaultPlan plan, std::uint64_t seed, trace::Metrics* metrics);
+  /// `clusters` sizes the per-cluster RNG/failure shards (1 for
+  /// standalone unit tests — every decision then draws stream 0).
+  FaultInjector(FaultPlan plan, std::uint64_t seed, trace::Metrics* metrics, int clusters = 1);
 
   const FaultPlan& plan() const { return plan_; }
   /// True when the Orca runtime must arm timeouts/retries (see
@@ -183,15 +201,19 @@ class FaultInjector {
 
   const LinkFaults& faults_for(LinkClass c) const;
 
-  // --- per-message decisions (called by Network/Link; draw the shared
-  // RNG stream in a deterministic order) -----------------------------
-  sim::SimTime jitter_latency(LinkClass c, sim::SimTime t);
-  sim::SimTime jitter_serialize(LinkClass c, sim::SimTime t);
-  /// Loss decision for one droppable message on class `c`. For the WAN
-  /// class this also advances the force_drop decision index.
-  bool lose(LinkClass c);
-  /// Extra brown-out loss decision with probability `p`.
-  bool lose_extra(double p);
+  // --- per-message decisions (called by Network/Link in the context of
+  // cluster `stream`; each cluster consumes its own RNG stream in its
+  // canonical event order) ------------------------------------------
+  sim::SimTime jitter_latency(LinkClass c, sim::SimTime t, ClusterId stream = 0);
+  sim::SimTime jitter_serialize(LinkClass c, sim::SimTime t, ClusterId stream = 0);
+  /// Loss decision for one droppable message on class `c`, decided at
+  /// cluster `stream` (the message's source cluster for WAN traffic).
+  /// For the WAN class this also advances that cluster's force_drop
+  /// index.
+  bool lose(LinkClass c, ClusterId stream = 0);
+  /// Extra brown-out loss decision with probability `p`, decided at
+  /// cluster `stream`.
+  bool lose_extra(double p, ClusterId stream = 0);
   /// If a flap window covers (from, to) at `now`, returns its end time.
   std::optional<sim::SimTime> flapped_until(ClusterId from, ClusterId to,
                                             sim::SimTime now) const;
@@ -201,70 +223,109 @@ class FaultInjector {
   };
   GatewayState gateway_state(ClusterId c, sim::SimTime now) const;
 
-  // --- accounting hooks ---------------------------------------------
-  void count_drop(LinkClass c, std::size_t bytes, DropCause cause);
+  // --- accounting hooks (relaxed atomics: callable from any partition
+  // thread; totals are order-independent) ----------------------------
+  void count_drop(LinkClass c, std::size_t bytes, DropCause cause, ClusterId at = 0);
   void count_flap_hold(sim::SimTime delay);
-  void count_brownout_slow() { ++brownout_slowed_; }
-  void note_retry() { ++retries_; }
-  void note_rpc_timeout() { ++rpc_timeouts_; }
-  void note_seq_timeout() { ++seq_timeouts_; }
-  void note_dup_rpc_request() { ++dup_rpc_requests_; }
-  void note_dup_rpc_reply() { ++dup_rpc_replies_; }
-  void note_dup_seq_request() { ++dup_seq_requests_; }
-  void note_dup_seq_grant() { ++dup_seq_grants_; }
+  void count_brownout_slow() { brownout_slowed_.fetch_add(1, std::memory_order_relaxed); }
+  void note_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void note_rpc_timeout() { rpc_timeouts_.fetch_add(1, std::memory_order_relaxed); }
+  void note_seq_timeout() { seq_timeouts_.fetch_add(1, std::memory_order_relaxed); }
+  void note_dup_rpc_request() { dup_rpc_requests_.fetch_add(1, std::memory_order_relaxed); }
+  void note_dup_rpc_reply() { dup_rpc_replies_.fetch_add(1, std::memory_order_relaxed); }
+  void note_dup_seq_request() { dup_seq_requests_.fetch_add(1, std::memory_order_relaxed); }
+  void note_dup_seq_grant() { dup_seq_grants_.fetch_add(1, std::memory_order_relaxed); }
 
-  std::uint64_t drops() const { return drops_loss_ + drops_flap_ + drops_brownout_; }
-  std::uint64_t retries() const { return retries_; }
-  std::uint64_t rpc_timeouts() const { return rpc_timeouts_; }
-  std::uint64_t seq_timeouts() const { return seq_timeouts_; }
-  std::uint64_t dup_rpc_requests() const { return dup_rpc_requests_; }
+  std::uint64_t drops() const {
+    return drops_loss_.load(std::memory_order_relaxed) +
+           drops_flap_.load(std::memory_order_relaxed) +
+           drops_brownout_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  std::uint64_t rpc_timeouts() const { return rpc_timeouts_.load(std::memory_order_relaxed); }
+  std::uint64_t seq_timeouts() const { return seq_timeouts_.load(std::memory_order_relaxed); }
+  std::uint64_t dup_rpc_requests() const {
+    return dup_rpc_requests_.load(std::memory_order_relaxed);
+  }
 
   // --- hard failure --------------------------------------------------
-  /// Records the first failure and runs the registered fan-out
-  /// callbacks (which error every parked waiter so all processes unwind
-  /// cooperatively). Idempotent.
-  void fail(FailureInfo info);
-  bool failed() const { return failure_.has_value(); }
-  const std::optional<FailureInfo>& failure() const { return failure_; }
-  /// The HardFailure for the recorded FailureInfo, as an exception_ptr
-  /// (same object identity for every waiter).
-  std::exception_ptr failure_eptr() const;
-  /// Registers a callback run exactly once, at the first fail().
-  void on_fail(std::function<void()> cb) { on_fail_.push_back(std::move(cb)); }
+  /// Records cluster `cluster`'s first failure (at simulated time
+  /// `time`, in that cluster's context) and runs the registered fan-out
+  /// callbacks for it, which error the cluster's parked waiters and
+  /// propagate the failure to the other clusters with lookahead delay.
+  /// Idempotent per cluster.
+  void fail(ClusterId cluster, sim::SimTime time, FailureInfo info);
+  /// Cluster-local failure flag: the only failed() form that may be
+  /// read while a partitioned run is in flight.
+  bool failed(ClusterId cluster) const {
+    return fail_[static_cast<std::size_t>(cluster)].failed;
+  }
+  /// Whole-run view (any cluster failed). Post-run / sequential use.
+  bool failed() const;
+  /// The earliest-recorded origin failure, by (time, cluster).
+  /// Post-run use.
+  const std::optional<FailureInfo>& failure() const;
+  /// The HardFailure for cluster `cluster`'s recorded failure, as an
+  /// exception_ptr (same object identity for every waiter of that
+  /// cluster).
+  std::exception_ptr failure_eptr(ClusterId cluster = 0) const;
+  /// Registers a callback run once per cluster, at that cluster's first
+  /// fail(), in that cluster's context.
+  void on_fail(std::function<void(ClusterId, const FailureInfo&)> cb) {
+    on_fail_.push_back(std::move(cb));
+  }
 
   /// Publishes the `net/fault.*` counters into `m`. Assignment
   /// semantics — call once per finished run.
   void publish_metrics(trace::Metrics& m) const;
 
  private:
+  /// A cluster's failure slot. Written only in that cluster's engine
+  /// context (origin failures locally, propagated ones through a
+  /// lookahead-delayed event), so no synchronization is needed.
+  struct ClusterFailure {
+    bool failed = false;
+    sim::SimTime time = 0;
+    bool origin = false;  ///< failed here (vs propagated from elsewhere)
+    std::optional<FailureInfo> info;
+    std::exception_ptr eptr;
+  };
+
+  /// One cluster's decision state, padded so partition threads drawing
+  /// concurrently never share a cache line.
+  struct alignas(64) ClusterStream {
+    sim::Rng rng;
+    /// Index of the next droppable message from this cluster to reach
+    /// the WAN loss checkpoint (the force_drop coordinate system).
+    std::uint64_t wan_drop_index = 0;
+    /// Dropped-bytes histograms by link class, merged at publish.
+    trace::Histogram drop_bytes[3];
+  };
+
   FaultPlan plan_;
   bool recovery_active_ = false;
-  sim::Rng rng_;
+  std::vector<ClusterStream> streams_;
+  std::vector<ClusterFailure> fail_;
 
-  // Index of the next droppable message to reach the WAN loss
-  // checkpoint (the force_drop coordinate system).
-  std::uint64_t wan_drop_index_ = 0;
-
-  std::uint64_t drops_loss_ = 0;
-  std::uint64_t drops_flap_ = 0;
-  std::uint64_t drops_brownout_ = 0;
-  std::uint64_t drops_by_class_[3] = {0, 0, 0};
-  std::uint64_t flap_holds_ = 0;
-  sim::SimTime flap_hold_ns_ = 0;
-  std::uint64_t brownout_slowed_ = 0;
-  std::uint64_t retries_ = 0;
-  std::uint64_t rpc_timeouts_ = 0;
-  std::uint64_t seq_timeouts_ = 0;
-  std::uint64_t dup_rpc_requests_ = 0;
-  std::uint64_t dup_rpc_replies_ = 0;
-  std::uint64_t dup_seq_requests_ = 0;
-  std::uint64_t dup_seq_grants_ = 0;
+  std::atomic<std::uint64_t> drops_loss_{0};
+  std::atomic<std::uint64_t> drops_flap_{0};
+  std::atomic<std::uint64_t> drops_brownout_{0};
+  std::atomic<std::uint64_t> drops_by_class_[3] = {{0}, {0}, {0}};
+  std::atomic<std::uint64_t> flap_holds_{0};
+  std::atomic<std::uint64_t> flap_hold_ns_{0};
+  std::atomic<std::uint64_t> brownout_slowed_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> rpc_timeouts_{0};
+  std::atomic<std::uint64_t> seq_timeouts_{0};
+  std::atomic<std::uint64_t> dup_rpc_requests_{0};
+  std::atomic<std::uint64_t> dup_rpc_replies_{0};
+  std::atomic<std::uint64_t> dup_seq_requests_{0};
+  std::atomic<std::uint64_t> dup_seq_grants_{0};
 
   trace::Histogram* h_drop_bytes_[3] = {nullptr, nullptr, nullptr};
 
-  std::optional<FailureInfo> failure_;
-  std::exception_ptr failure_eptr_;
-  std::vector<std::function<void()>> on_fail_;
+  mutable std::optional<FailureInfo> merged_failure_;  ///< lazy post-run view
+  std::vector<std::function<void(ClusterId, const FailureInfo&)>> on_fail_;
 };
 
 }  // namespace alb::net

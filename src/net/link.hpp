@@ -20,9 +20,13 @@ class Link {
  public:
   /// `faults` (nullable) applies the plan's per-class jitter to every
   /// transfer; `cls` selects which class's knobs govern this link.
+  /// `stream` is the cluster whose engine context charges this link —
+  /// its jitter draws come from that cluster's fault RNG stream, so a
+  /// partitioned run draws them in the same canonical order as a
+  /// sequential one.
   Link(sim::Engine& eng, LinkParams params, FaultInjector* faults = nullptr,
-       LinkClass cls = LinkClass::Lan)
-      : eng_(&eng), params_(params), faults_(faults), cls_(cls) {}
+       LinkClass cls = LinkClass::Lan, ClusterId stream = 0)
+      : eng_(&eng), params_(params), faults_(faults), cls_(cls), stream_(stream) {}
 
   const LinkParams& params() const { return params_; }
 
@@ -33,8 +37,8 @@ class Link {
     sim::SimTime ser = params_.serialize_time(bytes);
     sim::SimTime lat = params_.latency;
     if (faults_) {
-      ser = faults_->jitter_serialize(cls_, ser);
-      lat = faults_->jitter_latency(cls_, lat);
+      ser = faults_->jitter_serialize(cls_, ser, stream_);
+      lat = faults_->jitter_latency(cls_, lat, stream_);
     }
     queueing_time_ += start - eng_->now();
     busy_time_ += ser;
@@ -59,6 +63,7 @@ class Link {
   LinkParams params_;
   FaultInjector* faults_;
   LinkClass cls_;
+  ClusterId stream_;
   sim::SimTime next_free_ = 0;
   sim::SimTime busy_time_ = 0;
   sim::SimTime queueing_time_ = 0;

@@ -7,24 +7,37 @@ namespace alb::net {
 Network::Network(sim::Engine& eng, const TopologyConfig& cfg, const FaultPlan& faults,
                  std::uint64_t fault_seed)
     : eng_(&eng), cfg_(cfg), topo_(cfg) {
-  assert(cfg.clusters >= 1);
-  assert(cfg.nodes_per_cluster >= 1);
   const int nodes = topo_.num_nodes();
   const int compute = topo_.num_compute();
   const int clusters = topo_.clusters();
 
-  rec_ = eng.tracer();
+  // Give the engine cluster-grained owner contexts if the harness has
+  // not already done so (direct-construction tests): one owner per
+  // cluster, single partition, WAN-latency lookahead. The harness
+  // configures multi-partition runs before constructing the network.
+  if (eng.owners() < clusters) {
+    sim::PartitionConfig pc;
+    pc.owners = clusters;
+    pc.partitions = 1;
+    pc.lookahead = cfg.min_intercluster_latency();
+    eng.configure(pc);
+  }
+
+  stats_shards_.resize(static_cast<std::size_t>(clusters));
+  next_id_.assign(static_cast<std::size_t>(clusters) + 1, 0);
+
   trace::Session* session = eng.trace_session();
   if (session) {
     h_wan_bytes_ = session->metrics().histogram("net/wan.msg_bytes");
     h_wan_queue_ = session->metrics().histogram("net/wan.queue_ns");
+    wan_hist_shards_.resize(static_cast<std::size_t>(clusters));
   }
   // A disabled plan builds no injector: every fault check below is then
   // one null-pointer test and the run is byte-identical to a plan-free
   // network (pinned by tests/net/fault_test.cpp and the trace goldens).
   if (faults.enabled) {
-    faults_ = std::make_unique<FaultInjector>(faults, fault_seed,
-                                              session ? &session->metrics() : nullptr);
+    faults_ = std::make_unique<FaultInjector>(
+        faults, fault_seed, session ? &session->metrics() : nullptr, clusters);
   }
   FaultInjector* fi = faults_.get();
 
@@ -34,30 +47,33 @@ Network::Network(sim::Engine& eng, const TopologyConfig& cfg, const FaultPlan& f
   lan_links_.reserve(static_cast<std::size_t>(compute));
   access_links_.reserve(static_cast<std::size_t>(compute));
   for (int n = 0; n < compute; ++n) {
-    lan_links_.push_back(std::make_unique<Link>(eng, cfg.lan, fi, LinkClass::Lan));
-    access_links_.push_back(std::make_unique<Link>(eng, cfg.access, fi, LinkClass::Access));
+    const ClusterId c = topo_.cluster_of(n);
+    lan_links_.push_back(std::make_unique<Link>(eng, cfg.lan, fi, LinkClass::Lan, c));
+    access_links_.push_back(std::make_unique<Link>(eng, cfg.access, fi, LinkClass::Access, c));
   }
   wan_links_.resize(static_cast<std::size_t>(clusters) * static_cast<std::size_t>(clusters));
   for (int a = 0; a < clusters; ++a) {
     for (int b = 0; b < clusters; ++b) {
       if (a != b) {
+        // Charged at the kWanTransfer stage, in the *source* gateway's
+        // context — stream = a.
         wan_links_[static_cast<std::size_t>(a) * clusters + b] =
-            std::make_unique<Link>(eng, cfg.wan, fi, LinkClass::Wan);
+            std::make_unique<Link>(eng, cfg.wan, fi, LinkClass::Wan, a);
       }
     }
   }
   for (int c = 0; c < clusters; ++c) {
-    delivery_links_.push_back(std::make_unique<Link>(eng, cfg.access, fi, LinkClass::Access));
-    bcast_links_.push_back(std::make_unique<Link>(eng, cfg.lan_broadcast, fi, LinkClass::Lan));
+    delivery_links_.push_back(std::make_unique<Link>(eng, cfg.access, fi, LinkClass::Access, c));
+    bcast_links_.push_back(std::make_unique<Link>(eng, cfg.lan_broadcast, fi, LinkClass::Lan, c));
   }
 }
 
 void Network::drop(const Message& m, LinkClass cls, FaultInjector::DropCause cause,
                    NodeId where, bool close_wan_span) {
-  faults_->count_drop(cls, m.bytes, cause);
-  if (rec_) {
-    rec_->instant(trace::Category::Net, "net.fault.drop", where, m.id, m.bytes);
-    if (close_wan_span) rec_->end(trace::Category::Net, "net.wan", where, m.id, m.bytes);
+  faults_->count_drop(cls, m.bytes, cause, ctx());
+  if (trace::Recorder* rec = eng_->tracer()) {
+    rec->instant(trace::Category::Net, "net.fault.drop", where, m.id, m.bytes);
+    if (close_wan_span) rec->end(trace::Category::Net, "net.wan", where, m.id, m.bytes);
   }
 }
 
@@ -66,14 +82,20 @@ Link& Network::wan_link(ClusterId from, ClusterId to) {
   return *wan_links_[static_cast<std::size_t>(from) * topo_.clusters() + to];
 }
 
+const TrafficStats& Network::stats() const {
+  stats_merged_.reset();
+  for (const TrafficStats& s : stats_shards_) stats_merged_.merge(s);
+  return stats_merged_;
+}
+
 void Network::deliver_at(sim::SimTime t, Message m) {
   auto ev = [this, m = std::move(m)]() mutable {
     // Recorded at dispatch so the instant carries the delivery time; the
     // causal DAG builder keys send→deliver edges on the message id and
     // reads the protocol from the tag in aux.
-    if (rec_) {
-      rec_->instant(trace::Category::Net, "net.deliver", m.dst, m.id, m.bytes,
-                    trace::Recorder::clamp_tag(m.tag));
+    if (trace::Recorder* rec = eng_->tracer()) {
+      rec->instant(trace::Category::Net, "net.deliver", m.dst, m.id, m.bytes,
+                   trace::Recorder::clamp_tag(m.tag));
     }
     // Postfix expression before argument initialization (C++17 sequencing):
     // m.dst is read before the move steals the message.
@@ -101,10 +123,10 @@ void Network::schedule_hop_after(sim::SimTime delay, HopPlan plan) {
 void Network::run_hop(HopPlan plan) {
   switch (plan.stage) {
     case HopStage::kGatewayIngress: {
-      stats_.record_inter(plan.msg.kind, plan.msg.bytes);
-      if (rec_) {
-        rec_->instant(trace::Category::Net, "net.hop.gw_in", topo_.gateway_of(plan.from),
-                      plan.msg.id, plan.msg.bytes);
+      stats_here().record_inter(plan.msg.kind, plan.msg.bytes);
+      if (trace::Recorder* rec = eng_->tracer()) {
+        rec->instant(trace::Category::Net, "net.hop.gw_in", topo_.gateway_of(plan.from),
+                     plan.msg.id, plan.msg.bytes);
       }
       // Store-and-forward: the gateway spends its per-message forwarding
       // overhead, then the message queues on the WAN circuit.
@@ -112,7 +134,8 @@ void Network::run_hop(HopPlan plan) {
       if (faults_) {
         const FaultInjector::GatewayState gs =
             faults_->gateway_state(plan.from, eng_->now());
-        if (plan.msg.droppable && gs.extra_loss > 0.0 && faults_->lose_extra(gs.extra_loss)) {
+        if (plan.msg.droppable && gs.extra_loss > 0.0 &&
+            faults_->lose_extra(gs.extra_loss, plan.from)) {
           drop(plan.msg, LinkClass::Wan, FaultInjector::DropCause::Brownout,
                topo_.gateway_of(plan.from), /*close_wan_span=*/true);
           break;
@@ -141,14 +164,14 @@ void Network::run_hop(HopPlan plan) {
           // circuit when the window closes (possibly hitting the next
           // window — the reschedule loops naturally).
           faults_->count_flap_hold(*until - eng_->now());
-          if (rec_) {
-            rec_->instant(trace::Category::Net, "net.fault.flap_hold",
-                          topo_.gateway_of(plan.from), plan.msg.id, plan.msg.bytes);
+          if (trace::Recorder* rec = eng_->tracer()) {
+            rec->instant(trace::Category::Net, "net.fault.flap_hold",
+                         topo_.gateway_of(plan.from), plan.msg.id, plan.msg.bytes);
           }
           schedule_hop_at(*until, std::move(plan));
           break;
         }
-        if (plan.msg.droppable && faults_->lose(LinkClass::Wan)) {
+        if (plan.msg.droppable && faults_->lose(LinkClass::Wan, plan.from)) {
           // The message got onto the circuit and vanished: the bandwidth
           // is consumed (and the link counters see the attempt), but
           // nothing arrives at the remote gateway.
@@ -161,33 +184,46 @@ void Network::run_hop(HopPlan plan) {
       const sim::SimTime wait = wan.busy_until() - eng_->now();
       const std::uint64_t queued = static_cast<std::uint64_t>(wait > 0 ? wait : 0);
       if (h_wan_bytes_) {
-        h_wan_bytes_->add(plan.msg.bytes);
-        h_wan_queue_->add(queued);
+        WanHistShard& h = wan_hist_shards_[static_cast<std::size_t>(plan.from)];
+        h.bytes.add(plan.msg.bytes);
+        h.queue.add(queued);
       }
-      if (rec_) {
+      if (trace::Recorder* rec = eng_->tracer()) {
         // Queue wait is recorded explicitly so the causal profiler can
         // split the circuit crossing into queue / latency / serialization.
         if (queued > 0) {
-          rec_->instant(trace::Category::Net, "net.wan.queue", topo_.gateway_of(plan.from),
-                        plan.msg.id, queued);
+          rec->instant(trace::Category::Net, "net.wan.queue", topo_.gateway_of(plan.from),
+                       plan.msg.id, queued);
         }
-        rec_->instant(trace::Category::Net, "net.hop.wan", topo_.gateway_of(plan.from),
-                      plan.msg.id, plan.msg.bytes);
+        rec->instant(trace::Category::Net, "net.hop.wan", topo_.gateway_of(plan.from),
+                     plan.msg.id, plan.msg.bytes);
       }
       const sim::SimTime at_remote_gw = wan.transfer(plan.msg.bytes);
       plan.stage = HopStage::kGatewayEgress;
-      schedule_hop_at(at_remote_gw, std::move(plan));
+      // The cross-cluster edge: from here on the message is the remote
+      // cluster's business, so the continuation is scheduled in that
+      // owner's context. at_remote_gw ≥ now + WAN latency — exactly the
+      // engine's conservative lookahead — so a partitioned run can
+      // stage this event across the epoch barrier safely.
+      {
+        const sim::OwnerId dest = plan.to;
+        auto ev = [this, plan = std::move(plan)]() mutable { run_hop(std::move(plan)); };
+        static_assert(sim::UniqueFunction::stores_inline<decltype(ev)>,
+                      "a hop event must fit the event queue's inline storage");
+        eng_->schedule_on(dest, at_remote_gw, std::move(ev));
+      }
       break;
     }
     case HopStage::kGatewayEgress: {
-      if (rec_) {
-        rec_->instant(trace::Category::Net, "net.hop.gw_out", topo_.gateway_of(plan.to),
-                      plan.msg.id, plan.msg.bytes);
+      if (trace::Recorder* rec = eng_->tracer()) {
+        rec->instant(trace::Category::Net, "net.hop.gw_out", topo_.gateway_of(plan.to),
+                     plan.msg.id, plan.msg.bytes);
       }
       sim::SimTime overhead = cfg_.gateway_forward_overhead;
       if (faults_) {
         const FaultInjector::GatewayState gs = faults_->gateway_state(plan.to, eng_->now());
-        if (plan.msg.droppable && gs.extra_loss > 0.0 && faults_->lose_extra(gs.extra_loss)) {
+        if (plan.msg.droppable && gs.extra_loss > 0.0 &&
+            faults_->lose_extra(gs.extra_loss, plan.to)) {
           drop(plan.msg, LinkClass::Wan, FaultInjector::DropCause::Brownout,
                topo_.gateway_of(plan.to), /*close_wan_span=*/true);
           break;
@@ -202,15 +238,15 @@ void Network::run_hop(HopPlan plan) {
       break;
     }
     case HopStage::kClusterDelivery: {
-      if (faults_ && plan.msg.droppable && faults_->lose(LinkClass::Access)) {
+      if (faults_ && plan.msg.droppable && faults_->lose(LinkClass::Access, plan.to)) {
         // Models loss on the gateway -> destination access segment.
         drop(plan.msg, LinkClass::Access, FaultInjector::DropCause::Loss,
              topo_.gateway_of(plan.to), /*close_wan_span=*/true);
         break;
       }
-      if (rec_) {
-        rec_->end(trace::Category::Net, "net.wan", topo_.gateway_of(plan.to), plan.msg.id,
-                  plan.msg.bytes);
+      if (trace::Recorder* rec = eng_->tracer()) {
+        rec->end(trace::Category::Net, "net.wan", topo_.gateway_of(plan.to), plan.msg.id,
+                 plan.msg.bytes);
       }
       if (plan.broadcast) {
         // Remote gateway re-broadcasts into its cluster.
@@ -232,16 +268,16 @@ void Network::run_hop(HopPlan plan) {
 std::uint64_t Network::send(Message m) {
   assert(m.src >= 0 && m.src < topo_.num_nodes());
   assert(m.dst >= 0 && m.dst < topo_.num_nodes());
-  m.id = next_id_++;
+  m.id = next_id();
   m.sent_at = eng_->now();
   const std::uint64_t id = m.id;
 
   if (m.src == m.dst) {
     // Loopback: no link charge, but still goes through the event queue so
     // a self-send never reorders ahead of already-scheduled work.
-    if (rec_) {
-      rec_->instant(trace::Category::Net, "net.send.local", m.src, m.id, m.bytes,
-                    trace::Recorder::clamp_tag(m.tag));
+    if (trace::Recorder* rec = eng_->tracer()) {
+      rec->instant(trace::Category::Net, "net.send.local", m.src, m.id, m.bytes,
+                   trace::Recorder::clamp_tag(m.tag));
     }
     deliver_at(eng_->now(), std::move(m));
     return id;
@@ -251,17 +287,18 @@ std::uint64_t Network::send(Message m) {
   const ClusterId dc = topo_.cluster_of(m.dst);
 
   if (sc == dc) {
-    if (rec_) {
-      rec_->instant(trace::Category::Net, "net.send.lan", m.src, m.id, m.bytes,
-                    trace::Recorder::clamp_tag(m.tag));
+    if (trace::Recorder* rec = eng_->tracer()) {
+      rec->instant(trace::Category::Net, "net.send.lan", m.src, m.id, m.bytes,
+                   trace::Recorder::clamp_tag(m.tag));
     }
-    stats_.record_intra(m.kind, m.bytes);
+    stats_here().record_intra(m.kind, m.bytes);
     // Gateways reach their own cluster over the delivery (FE) link;
     // compute nodes use their Myrinet egress.
     const bool gw = topo_.is_gateway(m.src);
     Link& l = gw ? delivery_link(sc) : lan_link(m.src);
     const sim::SimTime t = l.transfer(m.bytes);
-    if (faults_ && m.droppable && faults_->lose(gw ? LinkClass::Access : LinkClass::Lan)) {
+    if (faults_ && m.droppable &&
+        faults_->lose(gw ? LinkClass::Access : LinkClass::Lan, sc)) {
       drop(m, gw ? LinkClass::Access : LinkClass::Lan, FaultInjector::DropCause::Loss, m.src,
            /*close_wan_span=*/false);
       return id;
@@ -273,9 +310,9 @@ std::uint64_t Network::send(Message m) {
   // Intercluster: first hop to the local gateway over Fast Ethernet.
   // (A gateway itself never originates application messages on DAS, but
   // relay code may run there in tests; it goes straight to the WAN.)
-  if (rec_) {
-    rec_->begin(trace::Category::Net, "net.wan", m.src, m.id, m.bytes,
-                trace::Recorder::clamp_tag(m.tag));
+  if (trace::Recorder* rec = eng_->tracer()) {
+    rec->begin(trace::Category::Net, "net.wan", m.src, m.id, m.bytes,
+               trace::Recorder::clamp_tag(m.tag));
   }
   HopPlan plan{std::move(m), sc, dc, HopStage::kGatewayIngress, /*broadcast=*/false};
   if (topo_.is_gateway(plan.msg.src)) {
@@ -283,7 +320,7 @@ std::uint64_t Network::send(Message m) {
     return id;
   }
   const sim::SimTime at_gw = access_link(plan.msg.src).transfer(plan.msg.bytes);
-  if (faults_ && plan.msg.droppable && faults_->lose(LinkClass::Access)) {
+  if (faults_ && plan.msg.droppable && faults_->lose(LinkClass::Access, sc)) {
     // Lost on the node -> gateway access segment.
     drop(plan.msg, LinkClass::Access, FaultInjector::DropCause::Loss, plan.msg.src,
          /*close_wan_span=*/true);
@@ -295,15 +332,15 @@ std::uint64_t Network::send(Message m) {
 
 std::uint64_t Network::lan_broadcast(NodeId src, Message m) {
   assert(topo_.is_compute(src));
-  m.id = next_id_++;
+  m.id = next_id();
   m.sent_at = eng_->now();
   m.src = src;
   const ClusterId c = topo_.cluster_of(src);
-  if (rec_) {
-    rec_->instant(trace::Category::Net, "net.bcast.lan", src, m.id, m.bytes,
-                  trace::Recorder::clamp_tag(m.tag));
+  if (trace::Recorder* rec = eng_->tracer()) {
+    rec->instant(trace::Category::Net, "net.bcast.lan", src, m.id, m.bytes,
+                 trace::Recorder::clamp_tag(m.tag));
   }
-  stats_.record_intra(m.kind, m.bytes);
+  stats_here().record_intra(m.kind, m.bytes);
   sim::SimTime t = bcast_link(c).transfer(m.bytes);
   for (int i = 0; i < topo_.nodes_per_cluster(); ++i) {
     NodeId dst = topo_.compute_node(c, i);
@@ -318,15 +355,15 @@ std::uint64_t Network::lan_broadcast(NodeId src, Message m) {
 std::uint64_t Network::wan_broadcast(NodeId src, ClusterId target, Message m) {
   assert(topo_.is_compute(src));
   assert(target != topo_.cluster_of(src));
-  m.id = next_id_++;
+  m.id = next_id();
   m.sent_at = eng_->now();
   m.src = src;
   m.dst = topo_.gateway_of(target);
   const ClusterId sc = topo_.cluster_of(src);
   const std::uint64_t id = m.id;
-  if (rec_) {
-    rec_->begin(trace::Category::Net, "net.wan", src, id, m.bytes,
-                trace::Recorder::clamp_tag(m.tag));
+  if (trace::Recorder* rec = eng_->tracer()) {
+    rec->begin(trace::Category::Net, "net.wan", src, id, m.bytes,
+               trace::Recorder::clamp_tag(m.tag));
   }
   const sim::SimTime at_gw = access_link(src).transfer(m.bytes);
   schedule_hop_at(at_gw, HopPlan{std::move(m), sc, target, HopStage::kGatewayIngress,
@@ -349,10 +386,11 @@ std::uint64_t sum_links(const std::vector<std::unique_ptr<Link>>& links, Fn fn) 
 }  // namespace
 
 void Network::publish_metrics(trace::Metrics& m) const {
+  const TrafficStats& merged = stats();
   // Per-kind LAN/WAN breakdown straight from the traffic accounting.
   for (int k = 0; k < TrafficStats::kNumKinds; ++k) {
     const MsgKind kind = static_cast<MsgKind>(k);
-    const KindCounters& c = stats_.kind(kind);
+    const KindCounters& c = merged.kind(kind);
     const std::string base = to_string(kind);
     *m.counter("net/lan." + base + ".msgs") = c.intra_msgs;
     *m.counter("net/lan." + base + ".bytes") = c.intra_bytes;
@@ -364,10 +402,10 @@ void Network::publish_metrics(trace::Metrics& m) const {
   // messages, "RPC kbyte" adds replies; broadcast folds in ordering
   // control traffic. Published so benches/tools read the table numbers
   // by name instead of re-deriving them.
-  *m.counter("net/wan.table.rpc.msgs") = stats_.inter_rpc_count() + stats_.inter_data_count();
-  *m.counter("net/wan.table.rpc.bytes") = stats_.inter_rpc_bytes() + stats_.inter_data_bytes();
-  *m.counter("net/wan.table.bcast.msgs") = stats_.inter_bcast_count();
-  *m.counter("net/wan.table.bcast.bytes") = stats_.inter_bcast_bytes();
+  *m.counter("net/wan.table.rpc.msgs") = merged.inter_rpc_count() + merged.inter_data_count();
+  *m.counter("net/wan.table.rpc.bytes") = merged.inter_rpc_bytes() + merged.inter_data_bytes();
+  *m.counter("net/wan.table.bcast.msgs") = merged.inter_bcast_count();
+  *m.counter("net/wan.table.bcast.bytes") = merged.inter_bcast_bytes();
 
   // Per-link-class aggregates (utilization & queueing).
   *m.counter("net/link.lan.msgs") = sum_links(lan_links_, [](const Link& l) { return l.messages(); }) +
@@ -387,6 +425,15 @@ void Network::publish_metrics(trace::Metrics& m) const {
       sum_links(wan_links_, [](const Link& l) { return l.busy_time(); });
   *m.counter("net/link.wan.queue_ns") =
       sum_links(wan_links_, [](const Link& l) { return l.queueing_time(); });
+
+  // Merge the per-cluster WAN histogram shards into the registry
+  // instruments (post-run, single-threaded).
+  if (h_wan_bytes_) {
+    for (const WanHistShard& s : wan_hist_shards_) {
+      h_wan_bytes_->merge(s.bytes);
+      h_wan_queue_->merge(s.queue);
+    }
+  }
 
   if (faults_) faults_->publish_metrics(m);
 }

@@ -15,6 +15,16 @@
 //
 // Every hop is a scheduled event, so queueing at gateways and on the WAN
 // circuits emerges naturally from link busy-until times.
+//
+// Partitioned execution: the network is the layer that crosses cluster
+// boundaries, so it is sharded by cluster context. Every hop up to the
+// WAN transfer runs in the *source* cluster's engine context; the
+// remote-gateway hop onward runs in the *destination* cluster's. The
+// WAN crossing is the one cross-owner edge — it is scheduled through
+// Engine::schedule_on, and its arrival time (≥ now + WAN latency) is
+// what satisfies the engine's conservative-lookahead contract. Message
+// ids, traffic counters and WAN histograms are kept per cluster (tagged
+// /merged so the observable values are partition-independent).
 
 #include <memory>
 #include <vector>
@@ -34,6 +44,10 @@ class Network {
   /// `faults` + `fault_seed` arm deterministic fault injection (see
   /// src/net/fault.hpp). The defaults construct no injector at all, so
   /// existing call sites are byte-identical to the pre-fault network.
+  /// Throws ConfigError on a malformed `cfg`. If the engine has not
+  /// been partition-configured yet, the constructor configures it for
+  /// one owner per cluster (single partition) so cluster contexts are
+  /// meaningful in every run mode.
   Network(sim::Engine& eng, const TopologyConfig& cfg, const FaultPlan& faults = {},
           std::uint64_t fault_seed = 0);
 
@@ -59,8 +73,10 @@ class Network {
   /// layer). `target` must differ from src's cluster.
   std::uint64_t wan_broadcast(NodeId src, ClusterId target, Message m);
 
-  TrafficStats& stats() { return stats_; }
-  const TrafficStats& stats() const { return stats_; }
+  /// Whole-run traffic accounting: merges the per-cluster shards into a
+  /// stable cached view. Do not call while a partitioned run is in
+  /// flight (tests and the harness read it post-run).
+  const TrafficStats& stats() const;
 
   /// Publishes the run's traffic accounting into `m` under the `net/`
   /// scope: per-kind LAN/WAN message+byte counters matching the paper's
@@ -95,6 +111,22 @@ class Network {
     bool broadcast;
   };
 
+  /// The cluster whose engine context is executing (0 during setup —
+  /// setup-time sends are charged to cluster 0's shards, matching the
+  /// engine's setup-events-execute-as-owner-0 rule).
+  ClusterId ctx() const {
+    const sim::OwnerId o = eng_->current_owner();
+    return o >= topo_.clusters() ? 0 : o;
+  }
+  /// Fresh message id, unique across clusters and independent of the
+  /// partition interleaving: the issuing context owns the high bits, a
+  /// per-context counter the low ones.
+  std::uint64_t next_id() {
+    const auto c = static_cast<std::size_t>(ctx());
+    return ((static_cast<std::uint64_t>(c) + 1) << 40) | ++next_id_[c];
+  }
+  TrafficStats& stats_here() { return stats_shards_[static_cast<std::size_t>(ctx())]; }
+
   void run_hop(HopPlan plan);
   void schedule_hop_at(sim::SimTime t, HopPlan plan);
   void schedule_hop_after(sim::SimTime delay, HopPlan plan);
@@ -108,14 +140,20 @@ class Network {
   sim::Engine* eng_;
   TopologyConfig cfg_;
   Topology topo_;
-  TrafficStats stats_;
+  std::vector<TrafficStats> stats_shards_;  // per cluster context
+  mutable TrafficStats stats_merged_;       // cached post-run merge
   std::unique_ptr<FaultInjector> faults_;
-  std::uint64_t next_id_ = 1;
+  std::vector<std::uint64_t> next_id_;      // per cluster context
 
-  // Observability (see src/trace/): the recorder pointer guards every
-  // record site (null = tracing off, one branch); the histograms are
-  // created once at construction when a session is attached.
-  trace::Recorder* rec_ = nullptr;
+  // Observability (see src/trace/): records go through the engine's
+  // per-owner tracer (eng_->tracer(), null = tracing off, one branch
+  // per site). WAN histograms are sharded per source cluster and merged
+  // into the registry instruments at publish time.
+  struct alignas(64) WanHistShard {
+    trace::Histogram bytes;
+    trace::Histogram queue;
+  };
+  std::vector<WanHistShard> wan_hist_shards_;  // per cluster; empty = no session
   trace::Histogram* h_wan_bytes_ = nullptr;
   trace::Histogram* h_wan_queue_ = nullptr;
 

@@ -7,13 +7,23 @@
 // and point-to-point WAN circuits (ATM PVCs) between every pair of
 // gateways.
 
-#include <cassert>
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 
 #include "net/node.hpp"
 #include "sim/time.hpp"
 
 namespace alb::net {
+
+/// A malformed network description. Thrown once, at Topology
+/// construction — by the time links exist every parameter has been
+/// range-checked, so the hot paths (serialize_time etc.) stay
+/// assertion-free release builds can elide.
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Parameters of one (unidirectional) link class.
 struct LinkParams {
@@ -24,11 +34,28 @@ struct LinkParams {
   /// Fixed per-message sender-side cost (protocol stack, interrupts).
   sim::SimTime per_message_overhead = 0;
 
-  /// Time the link is occupied serializing `bytes`. Bandwidth must be
-  /// positive; a non-positive value would make every transfer take
-  /// "forever" and silently wedge the simulation, so it is rejected.
+  /// Range-checks the parameters; `what` names the link class in the
+  /// error. A non-positive bandwidth would make every transfer take
+  /// "forever" and silently wedge the simulation, so it is rejected
+  /// here instead of asserted per-transfer.
+  void validate(const char* what) const {
+    if (!(bandwidth_bytes_per_sec > 0.0)) {
+      throw ConfigError(std::string(what) + ": bandwidth must be positive (got " +
+                        std::to_string(bandwidth_bytes_per_sec) + " bytes/s)");
+    }
+    if (latency < 0) {
+      throw ConfigError(std::string(what) + ": latency must be non-negative (got " +
+                        std::to_string(latency) + " ns)");
+    }
+    if (per_message_overhead < 0) {
+      throw ConfigError(std::string(what) + ": per-message overhead must be non-negative (got " +
+                        std::to_string(per_message_overhead) + " ns)");
+    }
+  }
+
+  /// Time the link is occupied serializing `bytes`. Parameters are
+  /// validated at Topology construction (see validate()).
   sim::SimTime serialize_time(std::size_t bytes) const {
-    assert(bandwidth_bytes_per_sec > 0.0 && "link bandwidth must be positive");
     double ser = static_cast<double>(bytes) / bandwidth_bytes_per_sec * 1e9;
     return per_message_overhead + static_cast<sim::SimTime>(ser);
   }
@@ -51,12 +78,45 @@ struct TopologyConfig {
   /// Hardware-supported intracluster broadcast: one serialization at the
   /// sender, delivery to all cluster members after this latency.
   LinkParams lan_broadcast;
+
+  /// Throws ConfigError on any out-of-range parameter. Called once by
+  /// the Topology constructor; tools call it directly to reject bad
+  /// command lines before building a network.
+  void validate() const {
+    if (clusters < 1) {
+      throw ConfigError("topology: clusters must be >= 1 (got " + std::to_string(clusters) + ")");
+    }
+    if (nodes_per_cluster < 1) {
+      throw ConfigError("topology: nodes_per_cluster must be >= 1 (got " +
+                        std::to_string(nodes_per_cluster) + ")");
+    }
+    lan.validate("lan link");
+    access.validate("access link");
+    wan.validate("wan link");
+    lan_broadcast.validate("lan broadcast link");
+    if (gateway_forward_overhead < 0) {
+      throw ConfigError("topology: gateway_forward_overhead must be non-negative (got " +
+                        std::to_string(gateway_forward_overhead) + " ns)");
+    }
+  }
+
+  /// The smallest latency any cross-cluster effect can travel with: the
+  /// WAN propagation latency (uniform circuits). This is the engine's
+  /// conservative lookahead — a partition may run that far beyond the
+  /// global epoch floor without missing a remote event. Zero on a
+  /// single cluster (no WAN, and no partitioning either).
+  sim::SimTime min_intercluster_latency() const { return clusters > 1 ? wan.latency : 0; }
 };
 
 class Topology {
  public:
+  /// Validates `cfg` (throws ConfigError) and freezes the node math.
   explicit Topology(const TopologyConfig& cfg)
-      : clusters_(cfg.clusters), per_cluster_(cfg.nodes_per_cluster) {}
+      : clusters_(cfg.clusters),
+        per_cluster_(cfg.nodes_per_cluster),
+        lookahead_(cfg.min_intercluster_latency()) {
+    cfg.validate();
+  }
 
   int clusters() const { return clusters_; }
   int nodes_per_cluster() const { return per_cluster_; }
@@ -81,9 +141,14 @@ class Topology {
     return is_gateway(n) ? 0 : n % per_cluster_;
   }
 
+  /// Minimum simulated delay between an event at cluster `a` and any
+  /// effect it can have at cluster `b` (0 when a == b).
+  sim::SimTime lookahead(ClusterId a, ClusterId b) const { return a == b ? 0 : lookahead_; }
+
  private:
   int clusters_;
   int per_cluster_;
+  sim::SimTime lookahead_;
 };
 
 }  // namespace alb::net

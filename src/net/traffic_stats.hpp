@@ -83,6 +83,17 @@ class TrafficStats {
 
   void reset() { counters_ = {}; }
 
+  /// Accumulates another shard into this one (partitioned runs keep one
+  /// TrafficStats per cluster context and merge post-run).
+  void merge(const TrafficStats& other) {
+    for (int k = 0; k < kNumKinds; ++k) {
+      counters_[k].intra_msgs += other.counters_[k].intra_msgs;
+      counters_[k].intra_bytes += other.counters_[k].intra_bytes;
+      counters_[k].inter_msgs += other.counters_[k].inter_msgs;
+      counters_[k].inter_bytes += other.counters_[k].inter_bytes;
+    }
+  }
+
   void print(std::ostream& os) const;
 
  private:

@@ -18,6 +18,7 @@ BroadcastEngine::BroadcastEngine(net::Network& net, Sequencer& seq, ApplyFn appl
   next_to_apply_.assign(static_cast<std::size_t>(compute), 0);
   reorder_.resize(static_cast<std::size_t>(compute));
   applied_count_.assign(static_cast<std::size_t>(compute), 0);
+  local_apply_waiters_.resize(static_cast<std::size_t>(compute));
   for (int n = 0; n < compute; ++n) {
     net.endpoint(n).set_handler(kTagBcastData, [this, n](net::Message m) {
       const auto& s = net::payload_as<Shipment>(m);
@@ -54,8 +55,9 @@ void BroadcastEngine::disseminate(net::NodeId node, std::size_t bytes, int tag,
 }
 
 sim::Task<void> BroadcastEngine::broadcast(net::NodeId node, std::size_t bytes, BcastOp op) {
-  if (net::FaultInjector* f = net_->faults(); f != nullptr && f->failed()) {
-    std::rethrow_exception(f->failure_eptr());
+  const net::ClusterId cluster = net_->topology().cluster_of(node);
+  if (net::FaultInjector* f = net_->faults(); f != nullptr && f->failed(cluster)) {
+    std::rethrow_exception(f->failure_eptr(cluster));
   }
   // Span 1: the get-sequence stall (a WAN roundtrip for a remote
   // sequencer — the cost the migrating sequencer optimizes away).
@@ -76,7 +78,7 @@ sim::Task<void> BroadcastEngine::broadcast(net::NodeId node, std::size_t bytes, 
 
   // Queue the sender's own copy and wait for in-order local application.
   sim::Future<> applied(net_->engine());
-  local_apply_waiters_.emplace(std::make_pair(node, seq), applied);
+  local_apply_waiters_[static_cast<std::size_t>(node)].emplace(seq, applied);
   enqueue(node, seq, std::move(op));
   co_await applied;
   if (rec) rec->end(trace::Category::Orca, "orca.bcast", node, seq);
@@ -106,9 +108,10 @@ void BroadcastEngine::drain(net::NodeId node) {
     if (rec) rec->instant(trace::Category::Orca, "orca.bcast.apply", node, next);
     apply_now(node, it->second);
     buf.erase(it);
-    if (auto w = local_apply_waiters_.find({node, next}); w != local_apply_waiters_.end()) {
+    auto& waiters = local_apply_waiters_[static_cast<std::size_t>(node)];
+    if (auto w = waiters.find(next); w != waiters.end()) {
       w->second.set_value();
-      local_apply_waiters_.erase(w);
+      waiters.erase(w);
     }
     ++next;
   }
@@ -119,11 +122,16 @@ void BroadcastEngine::apply_now(net::NodeId node, const BcastOp& op) {
   apply_op_(node, op);
 }
 
-void BroadcastEngine::fail_pending(std::exception_ptr e) {
-  for (auto& [key, fut] : local_apply_waiters_) {
-    if (!fut.ready()) fut.set_error(e);
+void BroadcastEngine::fail_pending(net::ClusterId cluster, std::exception_ptr e) {
+  const auto& topo = net_->topology();
+  for (int i = 0; i < topo.nodes_per_cluster(); ++i) {
+    auto& waiters =
+        local_apply_waiters_[static_cast<std::size_t>(topo.compute_node(cluster, i))];
+    for (auto& [seq, fut] : waiters) {
+      if (!fut.ready()) fut.set_error(e);
+    }
+    waiters.clear();
   }
-  local_apply_waiters_.clear();
 }
 
 }  // namespace alb::orca

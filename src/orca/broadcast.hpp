@@ -55,16 +55,18 @@ class BroadcastEngine {
     return applied_count_[static_cast<std::size_t>(node)];
   }
 
-  /// Total operations applied across every node.
+  /// Total operations applied across every node (post-run view).
   std::uint64_t applied_total() const {
     std::uint64_t n = 0;
     for (std::uint64_t c : applied_count_) n += c;
     return n;
   }
 
-  /// Hard-failure fan-out: errors every sender waiting for its own op's
-  /// in-order local apply so the caller unwinds (see src/net/fault.hpp).
-  void fail_pending(std::exception_ptr e);
+  /// Hard-failure fan-out for one cluster: errors every sender on
+  /// `cluster`'s nodes waiting for its own op's in-order local apply so
+  /// the caller unwinds (see src/net/fault.hpp). Called per cluster, in
+  /// that cluster's engine context.
+  void fail_pending(net::ClusterId cluster, std::exception_ptr e);
 
  private:
   struct Shipment {
@@ -83,12 +85,15 @@ class BroadcastEngine {
   ApplyFn apply_op_;
 
   // Per compute node: next sequence number to apply and the buffer of
-  // early arrivals.
+  // early arrivals. Every element is only touched in its node's cluster
+  // context (shipment handlers run at the receiving node), which keeps
+  // the reorder machinery race-free in a partitioned run.
   std::vector<std::uint64_t> next_to_apply_;
   std::vector<std::map<std::uint64_t, BcastOp>> reorder_;
   std::vector<std::uint64_t> applied_count_;
-  // Senders waiting for their own op to be applied locally: (node, seq).
-  std::map<std::pair<net::NodeId, std::uint64_t>, sim::Future<>> local_apply_waiters_;
+  // Per compute node: senders waiting for their own op's in-order local
+  // apply, keyed by sequence number.
+  std::vector<std::map<std::uint64_t, sim::Future<>>> local_apply_waiters_;
 };
 
 }  // namespace alb::orca

@@ -13,43 +13,55 @@ Runtime::Runtime(net::Network& net, Config cfg) : net_(&net) {
   seq_ = make_sequencer(kind, net, /*seq_node=*/0, cfg.migrate_threshold);
   bcast_ = std::make_unique<BroadcastEngine>(
       net, *seq_, [this](net::NodeId node, const BcastOp& op) { apply_bcast_op(node, op); });
+  const auto clusters = static_cast<std::size_t>(net.topology().clusters());
+  call_id_shards_.assign(clusters, 0);
+  pending_rpcs_.resize(clusters);
+  served_rpcs_.resize(clusters);
+  finish_shards_.resize(clusters);
+  barrier_waiters_.resize(static_cast<std::size_t>(nprocs()));
   barrier_local_gen_.assign(static_cast<std::size_t>(nprocs()), 0);
   install_handlers();
   if (recovery_on_) {
-    faults_->on_fail([this]() { fail_all_waiters(); });
+    faults_->on_fail(
+        [this](net::ClusterId c, const net::FailureInfo& info) { on_hard_failure(c, info); });
   }
 }
 
 void Runtime::install_handlers() {
   const int nodes = net_->topology().num_nodes();
   for (int n = 0; n < nodes; ++n) {
+    const net::ClusterId nc = cluster_of(static_cast<net::NodeId>(n));
     net_->endpoint(n).set_handler(kTagRpcRequest, [this, n](net::Message m) {
       handle_rpc_request(static_cast<net::NodeId>(n), net::payload_as<RpcRequest>(m));
     });
-    net_->endpoint(n).set_handler(kTagRpcReply, [this](net::Message m) {
+    // The reply handler runs at the caller's node, so it resolves
+    // against the caller cluster's pending shard.
+    net_->endpoint(n).set_handler(kTagRpcReply, [this, nc](net::Message m) {
       const auto& rep = net::payload_as<RpcReply>(m);
-      auto it = pending_rpcs_.find(rep.call_id);
+      auto& pending = pending_rpcs_[static_cast<std::size_t>(nc)];
+      auto it = pending.find(rep.call_id);
       if (recovery_on_) {
         // A reply for a call no longer pending (already answered, or
         // retired by the failure fan-out), or one whose current attempt
         // timed out before this — late — reply arrived. Either way the
         // caller has moved on: suppress the duplicate.
-        if (it == pending_rpcs_.end() || it->second.ready()) {
+        if (it == pending.end() || it->second.ready()) {
           faults_->note_dup_rpc_reply();
           return;
         }
       } else {
-        assert(it != pending_rpcs_.end());
+        assert(it != pending.end());
       }
       it->second.set_value(RpcWait{rep.result, false});
-      pending_rpcs_.erase(it);
+      pending.erase(it);
     });
     net_->endpoint(n).set_handler(kTagBarrierRelease, [this, n](net::Message m) {
       auto gen = net::payload_as<std::uint64_t>(m);
-      auto it = barrier_waiters_.find({static_cast<net::NodeId>(n), gen});
-      if (it != barrier_waiters_.end()) {
+      auto& waiters = barrier_waiters_[static_cast<std::size_t>(n)];
+      auto it = waiters.find(gen);
+      if (it != waiters.end()) {
         it->second.set_value();
-        barrier_waiters_.erase(it);
+        waiters.erase(it);
       }
     });
   }
@@ -61,11 +73,12 @@ void Runtime::install_handlers() {
 
 void Runtime::apply_bcast_op(net::NodeId node, const BcastOp& op) {
   op.apply(holder(op.object_id).state(node));
-  auto& ws = waiters_[static_cast<std::size_t>(op.object_id)];
+  // Waiters are node-specific (the predicate closure captured the
+  // node's copy), so only this node's shard is re-checked — which also
+  // keeps the scan confined to the executing cluster context.
+  auto& ws = waiters_[static_cast<std::size_t>(op.object_id)][static_cast<std::size_t>(node)];
   for (auto it = ws.begin(); it != ws.end();) {
-    // Waiters are node-specific: the predicate closure captured the
-    // node's copy. Only re-check the ones registered for this node.
-    if (it->node == node && it->pred()) {
+    if (it->pred()) {
       it->fut.set_value();
       it = ws.erase(it);
     } else {
@@ -76,8 +89,8 @@ void Runtime::apply_bcast_op(net::NodeId node, const BcastOp& op) {
 
 void Runtime::add_object_waiter(int object_id, net::NodeId node, std::function<bool()> pred,
                                 sim::Future<> fut) {
-  waiters_[static_cast<std::size_t>(object_id)].push_back(
-      ObjectWaiter{std::move(pred), std::move(fut), node});
+  waiters_[static_cast<std::size_t>(object_id)][static_cast<std::size_t>(node)].push_back(
+      ObjectWaiter{std::move(pred), std::move(fut)});
 }
 
 sim::Task<std::shared_ptr<const void>> Runtime::rpc(
@@ -88,8 +101,14 @@ sim::Task<std::shared_ptr<const void>> Runtime::rpc(
     if (service_time > 0) co_await engine().delay(service_time);
     co_return op();
   }
-  guard_failed();
-  const std::uint64_t id = next_call_id_++;
+  const net::ClusterId cc = cluster_of(caller);
+  guard_failed(cc);
+  // Call ids are minted in the caller's cluster context; the cluster
+  // index in the high bits keeps them globally unique — and stable
+  // across partition counts — without a shared counter.
+  const std::uint64_t id = ((static_cast<std::uint64_t>(cc) + 1) << 40) |
+                           ++call_id_shards_[static_cast<std::size_t>(cc)];
+  auto& pending = pending_rpcs_[static_cast<std::size_t>(cc)];
 
   trace::Recorder* rec = engine().tracer();
   if (rec) rec->begin(trace::Category::Orca, "orca.rpc", caller, id, request_bytes);
@@ -105,7 +124,7 @@ sim::Task<std::shared_ptr<const void>> Runtime::rpc(
   std::shared_ptr<const void> result;
   if (!recovery_on_) {
     sim::Future<RpcWait> fut(engine());
-    pending_rpcs_.emplace(id, fut);
+    pending.emplace(id, fut);
     send_rpc_request(caller, target, request_bytes, std::move(payload));
     result = (co_await fut).result;
   } else {
@@ -119,7 +138,7 @@ sim::Task<std::shared_ptr<const void>> Runtime::rpc(
     bool retry_span = false;
     for (int attempt = 1;; ++attempt) {
       sim::Future<RpcWait> fut(engine());
-      pending_rpcs_.insert_or_assign(id, fut);
+      pending.insert_or_assign(id, fut);
       send_rpc_request(caller, target, request_bytes, payload);
       arm_rpc_timer(fut, timeout);
       RpcWait w = co_await fut;
@@ -136,17 +155,18 @@ sim::Task<std::shared_ptr<const void>> Runtime::rpc(
           rec->begin(trace::Category::Orca, "orca.rpc.retry", caller, id);
         }
       }
-      if (faults_->failed() || attempt >= rp.max_attempts) {
-        pending_rpcs_.erase(id);
-        if (!faults_->failed()) {
-          faults_->fail(
-              net::FailureInfo{net::FailureInfo::Kind::RpcTimeout, caller, id, attempt});
+      if (faults_->failed(cc) || attempt >= rp.max_attempts) {
+        pending.erase(id);
+        if (!faults_->failed(cc)) {
+          faults_->fail(cc, engine().now(),
+                        net::FailureInfo{net::FailureInfo::Kind::RpcTimeout, caller, id,
+                                         attempt});
         }
         if (rec) {
           if (retry_span) rec->end(trace::Category::Orca, "orca.rpc.retry", caller, id);
           rec->end(trace::Category::Orca, "orca.rpc", caller, id, 0);
         }
-        std::rethrow_exception(faults_->failure_eptr());
+        std::rethrow_exception(faults_->failure_eptr(cc));
       }
       faults_->note_retry();
       timeout = static_cast<sim::SimTime>(static_cast<double>(timeout) * rp.backoff);
@@ -163,8 +183,11 @@ sim::Task<std::shared_ptr<const void>> Runtime::rpc_blocking(
   if (caller == target) {
     co_return co_await op();
   }
-  guard_failed();
-  const std::uint64_t id = next_call_id_++;
+  const net::ClusterId cc = cluster_of(caller);
+  guard_failed(cc);
+  const std::uint64_t id = ((static_cast<std::uint64_t>(cc) + 1) << 40) |
+                           ++call_id_shards_[static_cast<std::size_t>(cc)];
+  auto& pending = pending_rpcs_[static_cast<std::size_t>(cc)];
 
   trace::Recorder* rec = engine().tracer();
   if (rec) rec->begin(trace::Category::Orca, "orca.rpc", caller, id, request_bytes);
@@ -180,7 +203,7 @@ sim::Task<std::shared_ptr<const void>> Runtime::rpc_blocking(
   std::shared_ptr<const void> result;
   if (!recovery_on_) {
     sim::Future<RpcWait> fut(engine());
-    pending_rpcs_.emplace(id, fut);
+    pending.emplace(id, fut);
     send_rpc_request(caller, target, request_bytes, std::move(payload));
     result = (co_await fut).result;
   } else {
@@ -190,7 +213,7 @@ sim::Task<std::shared_ptr<const void>> Runtime::rpc_blocking(
     bool retry_span = false;
     for (int attempt = 1;; ++attempt) {
       sim::Future<RpcWait> fut(engine());
-      pending_rpcs_.insert_or_assign(id, fut);
+      pending.insert_or_assign(id, fut);
       send_rpc_request(caller, target, request_bytes, payload);
       arm_rpc_timer(fut, timeout);
       RpcWait w = co_await fut;
@@ -207,17 +230,18 @@ sim::Task<std::shared_ptr<const void>> Runtime::rpc_blocking(
           rec->begin(trace::Category::Orca, "orca.rpc.retry", caller, id);
         }
       }
-      if (faults_->failed() || attempt >= rp.max_attempts) {
-        pending_rpcs_.erase(id);
-        if (!faults_->failed()) {
-          faults_->fail(
-              net::FailureInfo{net::FailureInfo::Kind::RpcTimeout, caller, id, attempt});
+      if (faults_->failed(cc) || attempt >= rp.max_attempts) {
+        pending.erase(id);
+        if (!faults_->failed(cc)) {
+          faults_->fail(cc, engine().now(),
+                        net::FailureInfo{net::FailureInfo::Kind::RpcTimeout, caller, id,
+                                         attempt});
         }
         if (rec) {
           if (retry_span) rec->end(trace::Category::Orca, "orca.rpc.retry", caller, id);
           rec->end(trace::Category::Orca, "orca.rpc", caller, id, 0);
         }
-        std::rethrow_exception(faults_->failure_eptr());
+        std::rethrow_exception(faults_->failure_eptr(cc));
       }
       faults_->note_retry();
       timeout = static_cast<sim::SimTime>(static_cast<double>(timeout) * rp.backoff);
@@ -228,8 +252,10 @@ sim::Task<std::shared_ptr<const void>> Runtime::rpc_blocking(
   co_return result;
 }
 
-void Runtime::guard_failed() const {
-  if (faults_ != nullptr && faults_->failed()) std::rethrow_exception(faults_->failure_eptr());
+void Runtime::guard_failed(net::ClusterId cluster) const {
+  if (faults_ != nullptr && faults_->failed(cluster)) {
+    std::rethrow_exception(faults_->failure_eptr(cluster));
+  }
 }
 
 void Runtime::send_rpc_request(net::NodeId caller, net::NodeId target,
@@ -255,34 +281,59 @@ void Runtime::arm_rpc_timer(const sim::Future<RpcWait>& fut, sim::SimTime timeou
   engine().schedule_after(timeout, std::move(timer));
 }
 
-void Runtime::fail_all_waiters() {
-  const std::exception_ptr e = faults_->failure_eptr();
-  for (auto& [id, fut] : pending_rpcs_) {
+void Runtime::fail_cluster_waiters(net::ClusterId cluster, std::exception_ptr e) {
+  const auto ci = static_cast<std::size_t>(cluster);
+  for (auto& [id, fut] : pending_rpcs_[ci]) {
     if (!fut.ready()) fut.set_error(e);
   }
-  pending_rpcs_.clear();
-  for (auto& [key, fut] : barrier_waiters_) {
-    if (!fut.ready()) fut.set_error(e);
-  }
-  barrier_waiters_.clear();
-  for (auto& ws : waiters_) {
-    for (ObjectWaiter& w : ws) {
-      if (!w.fut.ready()) w.fut.set_error(e);
+  pending_rpcs_[ci].clear();
+  const auto& topo = net_->topology();
+  for (int i = 0; i < topo.nodes_per_cluster(); ++i) {
+    const net::NodeId n = topo.compute_node(cluster, i);
+    for (auto& [gen, fut] : barrier_waiters_[static_cast<std::size_t>(n)]) {
+      if (!fut.ready()) fut.set_error(e);
     }
-    ws.clear();
+    barrier_waiters_[static_cast<std::size_t>(n)].clear();
+    for (auto& per_object : waiters_) {
+      auto& ws = per_object[static_cast<std::size_t>(n)];
+      for (ObjectWaiter& w : ws) {
+        if (!w.fut.ready()) w.fut.set_error(e);
+      }
+      ws.clear();
+    }
+    net_->endpoint(n).fail_pending(e);
   }
-  seq_->fail_pending(e);
-  bcast_->fail_pending(e);
-  const int nodes = net_->topology().num_nodes();
-  for (int n = 0; n < nodes; ++n) net_->endpoint(n).fail_pending(e);
+  net_->endpoint(topo.gateway_of(cluster)).fail_pending(e);
+  seq_->fail_pending(cluster, e);
+  bcast_->fail_pending(cluster, e);
+}
+
+void Runtime::on_hard_failure(net::ClusterId cluster, const net::FailureInfo& info) {
+  fail_cluster_waiters(cluster, faults_->failure_eptr(cluster));
+  // Propagate: the earliest a real failure notification could reach
+  // another cluster is one WAN latency away — exactly the engine's
+  // lookahead, so the cross-cluster events are epoch-safe. fail() is
+  // idempotent per cluster, so the second-order fan-out (each newly
+  // failed cluster re-propagating) quiesces after one round.
+  sim::Engine& eng = engine();
+  const sim::SimTime at = eng.now() + eng.lookahead();
+  const sim::SimTime time = eng.now();
+  for (net::ClusterId d = 0; d < net_->topology().clusters(); ++d) {
+    if (d == cluster) continue;
+    auto ev = [this, d, time, info]() { faults_->fail(d, time, info); };
+    static_assert(sim::UniqueFunction::stores_inline<decltype(ev)>,
+                  "failure propagation event must fit the event queue's inline storage");
+    eng.schedule_on(d, at, std::move(ev));
+  }
 }
 
 void Runtime::send_reply(net::NodeId at, net::NodeId caller, std::uint64_t call_id,
                          std::size_t reply_bytes, std::shared_ptr<const void> result) {
   if (recovery_on_) {
     // Cache the reply so a duplicate (retried) request re-receives it
-    // instead of re-executing the operation.
-    ServedRpc& s = served_rpcs_[call_id];
+    // instead of re-executing the operation. Keyed in the *server*
+    // cluster's shard — duplicates arrive where the original did.
+    ServedRpc& s = served_rpcs_[static_cast<std::size_t>(cluster_of(at))][call_id];
     s.result = result;
     s.reply_bytes = reply_bytes;
     s.done = true;
@@ -314,8 +365,9 @@ sim::Task<void> Runtime::serve_blocking(net::NodeId at, RpcRequest req) {
 
 void Runtime::handle_rpc_request(net::NodeId at, RpcRequest req) {
   if (recovery_on_) {
-    auto it = served_rpcs_.find(req.call_id);
-    if (it != served_rpcs_.end()) {
+    auto& served = served_rpcs_[static_cast<std::size_t>(cluster_of(at))];
+    auto it = served.find(req.call_id);
+    if (it != served.end()) {
       // Duplicate of a request this node already accepted (its reply
       // was lost, or the original is still executing). Never re-run the
       // operation — RPC handlers have side effects (job-queue pops,
@@ -330,7 +382,7 @@ void Runtime::handle_rpc_request(net::NodeId at, RpcRequest req) {
       }
       return;
     }
-    served_rpcs_.emplace(req.call_id, ServedRpc{});
+    served.emplace(req.call_id, ServedRpc{});
   }
   if (trace::Recorder* rec = engine().tracer()) {
     rec->instant(trace::Category::Orca, "orca.rpc.serve", at, req.call_id);
@@ -365,13 +417,13 @@ void Runtime::send_data(const Proc& from, int dst_rank, int tag, std::size_t byt
 
 sim::Task<void> Runtime::barrier(Proc& p) {
   if (nprocs() == 1) co_return;
-  guard_failed();
+  guard_failed(cluster_of(p.node));
   const std::uint64_t gen = barrier_local_gen_[static_cast<std::size_t>(p.rank)]++;
   if (trace::Recorder* rec = engine().tracer()) {
     rec->instant(trace::Category::Orca, "orca.barrier.arrive", p.node, gen);
   }
   sim::Future<> released(engine());
-  barrier_waiters_.emplace(std::make_pair(p.node, gen), released);
+  barrier_waiters_[static_cast<std::size_t>(p.node)].emplace(gen, released);
   if (p.rank == 0) {
     ++barrier_arrivals_;
     if (barrier_arrivals_ == nprocs()) release_barrier();
@@ -398,9 +450,10 @@ void Runtime::release_barrier() {
   const auto& topo = net_->topology();
   auto payload = net::make_payload<std::uint64_t>(gen);
   // Release rank 0 directly (it is the broadcaster).
-  if (auto it = barrier_waiters_.find({0, gen}); it != barrier_waiters_.end()) {
+  auto& root_waiters = barrier_waiters_[0];
+  if (auto it = root_waiters.find(gen); it != root_waiters.end()) {
     it->second.set_value();
-    barrier_waiters_.erase(it);
+    root_waiters.erase(it);
   }
   if (topo.nodes_per_cluster() > 1) {
     net::Message m;
@@ -434,8 +487,11 @@ void Runtime::spawn_all(ProcMain main) {
     proc->rng.reseed(0x5eed0000u + static_cast<std::uint64_t>(r));
     procs_.push_back(std::move(proc));
   }
+  // Each process is rooted in its own cluster's owner context, so a
+  // partitioned run hosts it on the right partition from the start.
   for (int r = 0; r < p; ++r) {
-    engine().spawn(run_proc(main, *procs_[static_cast<std::size_t>(r)]));
+    Proc& proc = *procs_[static_cast<std::size_t>(r)];
+    engine().spawn_on(cluster_of(proc.node), run_proc(main, proc));
   }
 }
 
@@ -444,6 +500,7 @@ sim::Task<void> Runtime::run_proc(ProcMain main, Proc& p) {
     rec->instant(trace::Category::Orca, "orca.proc.start", p.node,
                  static_cast<std::uint64_t>(p.rank));
   }
+  FinishShard& shard = finish_shards_[static_cast<std::size_t>(cluster_of(p.node))];
   try {
     co_await main(p);
   } catch (const net::HardFailure&) {
@@ -452,29 +509,33 @@ sim::Task<void> Runtime::run_proc(ProcMain main, Proc& p) {
     // typed AppResult error — and the process unwinds cooperatively so
     // its coroutine frame is reclaimed instead of leaking. Letting the
     // exception escape this detached coroutine would abort the run.
-    ++failed_procs_;
+    ++shard.failed;
   }
   if (trace::Recorder* rec = engine().tracer()) {
     rec->instant(trace::Category::Orca, "orca.proc.finish", p.node,
                  static_cast<std::uint64_t>(p.rank));
   }
-  last_finish_ = std::max(last_finish_, engine().now());
-  ++finished_;
+  shard.last_finish = std::max(shard.last_finish, engine().now());
+  ++shard.finished;
 }
 
 sim::SimTime Runtime::run_all() {
   engine().run();
-  assert((finished_ == nprocs() || (faults_ != nullptr && faults_->failed())) &&
+  assert((finished_procs() == nprocs() || (faults_ != nullptr && faults_->failed())) &&
          "some processes never finished (deadlock?)");
-  return last_finish_;
+  return last_finish();
 }
 
 void Runtime::publish_metrics(trace::Metrics& m) const {
-  *m.counter("orca/rpc.calls") = next_call_id_ - 1;
+  std::uint64_t calls = 0;
+  for (std::uint64_t c : call_id_shards_) calls += c;
+  int failed = 0;
+  for (const FinishShard& s : finish_shards_) failed += s.failed;
+  *m.counter("orca/rpc.calls") = calls;
   *m.counter("orca/bcast.applied") = bcast_->applied_total();
   *m.counter("orca/seq.issued") = seq_->issued();
   *m.counter("orca/barrier.rounds") = barrier_generation_;
-  *m.counter("orca/fault.failed_procs") = static_cast<std::uint64_t>(failed_procs_);
+  *m.counter("orca/fault.failed_procs") = static_cast<std::uint64_t>(failed);
 }
 
 }  // namespace alb::orca

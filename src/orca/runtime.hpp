@@ -12,7 +12,18 @@
 //     release), used by apps that need phase synchronization,
 //   * process lifecycle and completion-time bookkeeping for speedup
 //     measurement.
+//
+// Partitioned execution: every mutable table is sharded by the cluster
+// context that touches it — pending RPCs and call ids by the caller's
+// cluster, the served-RPC duplicate cache by the server's, barrier and
+// object waiters by node, finish bookkeeping by cluster (merged by the
+// post-run accessors). Hard failures are observed per cluster: the
+// injector's on_fail callback fails the origin cluster's parked waiters
+// in its own context and schedules a propagation event on every other
+// cluster one lookahead later (the earliest a real notification could
+// arrive), which fails that cluster's waiters there.
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -63,7 +74,7 @@ class Runtime {
   };
   int add_holder(std::unique_ptr<HolderBase> h) {
     holders_.push_back(std::move(h));
-    waiters_.emplace_back();
+    waiters_.emplace_back(static_cast<std::size_t>(nprocs()));
     return static_cast<int>(holders_.size()) - 1;
   }
   HolderBase& holder(int id) { return *holders_[static_cast<std::size_t>(id)]; }
@@ -115,8 +126,17 @@ class Runtime {
   sim::SimTime run_all();
 
   Proc& proc(int rank) { return *procs_[static_cast<std::size_t>(rank)]; }
-  sim::SimTime last_finish() const { return last_finish_; }
-  int finished_procs() const { return finished_; }
+  /// Post-run views over the per-cluster finish shards.
+  sim::SimTime last_finish() const {
+    sim::SimTime t = 0;
+    for (const FinishShard& s : finish_shards_) t = std::max(t, s.last_finish);
+    return t;
+  }
+  int finished_procs() const {
+    int n = 0;
+    for (const FinishShard& s : finish_shards_) n += s.finished;
+    return n;
+  }
 
   /// Publishes runtime-layer counters (RPC calls, broadcasts applied,
   /// sequence numbers issued, barrier rounds) into `m` under the
@@ -140,7 +160,6 @@ class Runtime {
   struct ObjectWaiter {
     std::function<bool()> pred;
     sim::Future<> fut;
-    net::NodeId node;
   };
   /// What an rpc() caller resumes with: a reply, or a local timeout
   /// fired by the recovery machinery (see src/net/fault.hpp).
@@ -168,15 +187,21 @@ class Runtime {
   sim::Task<void> run_proc(ProcMain main, Proc& p);
 
   // --- recovery helpers (no-ops unless the fault plan arms recovery) --
-  void guard_failed() const;
+  void guard_failed(net::ClusterId cluster) const;
   void send_rpc_request(net::NodeId caller, net::NodeId target, std::size_t request_bytes,
                         std::shared_ptr<const void> payload);
   void arm_rpc_timer(const sim::Future<RpcWait>& fut, sim::SimTime timeout);
-  /// Hard-failure fan-out: errors every parked future (pending RPCs,
-  /// barrier waiters, object waiters), poisons every mailbox, and
-  /// forwards to the sequencer and broadcast engine, so all suspended
+  /// Hard-failure fan-out for one cluster (runs in that cluster's
+  /// context): errors its parked futures (pending RPCs, barrier
+  /// waiters, object waiters), poisons its mailboxes, and forwards to
+  /// the sequencer and broadcast engine, so the cluster's suspended
   /// processes unwind cooperatively instead of leaking their frames.
-  void fail_all_waiters();
+  void fail_cluster_waiters(net::ClusterId cluster, std::exception_ptr e);
+  /// The injector's on_fail callback: fails `cluster`'s waiters now and
+  /// schedules the failure onto every other cluster one lookahead later.
+  void on_hard_failure(net::ClusterId cluster, const net::FailureInfo& info);
+
+  net::ClusterId cluster_of(net::NodeId n) const { return net_->topology().cluster_of(n); }
 
   net::Network* net_;
   net::FaultInjector* faults_ = nullptr;
@@ -185,22 +210,35 @@ class Runtime {
   std::unique_ptr<BroadcastEngine> bcast_;
 
   std::vector<std::unique_ptr<HolderBase>> holders_;
-  std::vector<std::vector<ObjectWaiter>> waiters_;  // indexed by object id
+  // waiters_[object][node]: predicate waiters, touched only in the
+  // node's cluster context (registered by the node's proc, re-checked
+  // by the broadcast apply at that node).
+  std::vector<std::vector<std::vector<ObjectWaiter>>> waiters_;
 
-  std::uint64_t next_call_id_ = 1;
-  std::map<std::uint64_t, sim::Future<RpcWait>> pending_rpcs_;
-  std::map<std::uint64_t, ServedRpc> served_rpcs_;  // recovery mode only
+  // RPC tables, sharded by the cluster context that touches them: call
+  // ids and pending futures by the caller's cluster (the reply handler
+  // runs at the caller), the duplicate cache by the server's.
+  std::vector<std::uint64_t> call_id_shards_;
+  std::vector<std::map<std::uint64_t, sim::Future<RpcWait>>> pending_rpcs_;
+  std::vector<std::map<std::uint64_t, ServedRpc>> served_rpcs_;  // recovery mode only
 
-  // Barrier service state (root = rank 0).
+  // Barrier service state. The arrival counter and generation belong to
+  // the root (rank 0) context; waiters are sharded per node, keyed by
+  // the node's local generation.
   int barrier_arrivals_ = 0;
   std::uint64_t barrier_generation_ = 0;
-  std::map<std::pair<net::NodeId, std::uint64_t>, sim::Future<>> barrier_waiters_;
+  std::vector<std::map<std::uint64_t, sim::Future<>>> barrier_waiters_;  // per node
   std::vector<std::uint64_t> barrier_local_gen_;
 
   std::vector<std::unique_ptr<Proc>> procs_;
-  sim::SimTime last_finish_ = 0;
-  int finished_ = 0;
-  int failed_procs_ = 0;  // processes unwound by a hard failure
+  /// Finish bookkeeping, sharded per cluster (run_proc completes in the
+  /// process's own cluster context); merged by the post-run accessors.
+  struct alignas(64) FinishShard {
+    sim::SimTime last_finish = 0;
+    int finished = 0;
+    int failed = 0;  // processes unwound by a hard failure
+  };
+  std::vector<FinishShard> finish_shards_;
 };
 
 }  // namespace alb::orca

@@ -20,6 +20,17 @@
 // any simulator, protocol *state* lives in one address space; every
 // state transition that would require a message in the real system sends
 // one here.
+//
+// Partitioned execution: sequencer state is either confined to one
+// cluster's engine context (per-cluster request queues, duplicate
+// caches, location hints) or "handoff-owned" — passed between clusters
+// by protocol message (the rotating token's counter, the migrating
+// sequencer's counter and grant cache). A cross-cluster message staged
+// at epoch E is processed at epoch >= E+1, and the epoch barrier gives
+// the happens-before edge, so handoff-owned members stay plain C++
+// fields. Consequence: every location decision travels by message (the
+// migrating sequencer routes requests through per-cluster hints and
+// per-node forwarding pointers instead of reading a global location).
 
 #include <cstdint>
 #include <deque>
@@ -43,14 +54,21 @@ class Sequencer {
   virtual sim::Task<std::uint64_t> get_sequence(net::NodeId node) = 0;
 
   /// Application hint: broadcasts will come from `node` for a while
-  /// (no-op except for the migrating sequencer).
+  /// (no-op except for the migrating sequencer, which routes the hint
+  /// as a control message to the active sequencer location).
   virtual void hint_migrate(net::NodeId node) { (void)node; }
 
-  /// Hard-failure fan-out: errors every get-sequence call parked inside
-  /// the sequencer (not in flight on the network) so its caller unwinds.
-  /// Callers suspended on in-flight requests are woken by their own
-  /// retry timers. No-op for sequencers that park no requests.
-  virtual void fail_pending(std::exception_ptr e) { (void)e; }
+  /// Hard-failure fan-out for one cluster: errors every get-sequence
+  /// call from `cluster`'s nodes parked inside the sequencer (not in
+  /// flight on the network) so its caller unwinds. Callers suspended on
+  /// in-flight requests are woken by their own retry timers. Called per
+  /// cluster, in that cluster's engine context, as the failure
+  /// propagates (see src/net/fault.hpp). No-op for sequencers that park
+  /// no requests.
+  virtual void fail_pending(net::ClusterId cluster, std::exception_ptr e) {
+    (void)cluster;
+    (void)e;
+  }
 
   /// Sequence numbers issued so far.
   virtual std::uint64_t issued() const = 0;

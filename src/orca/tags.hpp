@@ -15,6 +15,7 @@ enum RtsTag : int {
   kTagSeqMigrate = -7,
   kTagBarrierArrive = -8,
   kTagBarrierRelease = -9,
+  kTagSeqHint = -10,
 };
 
 /// Size of the runtime's small protocol messages (sequence requests,

@@ -1,35 +1,52 @@
 #pragma once
 // The discrete-event engine.
 //
-// Single-threaded and deterministic: events fire in (time, schedule-order)
-// order, and a running trace hash lets tests assert bit-reproducibility.
+// Deterministic: events fire in canonical (time, lamport, owner) order,
+// and a running trace hash lets tests assert bit-reproducibility.
 // Simulated processes are coroutines (sim::Task) spawned onto the engine;
 // they block on awaitables (delay(), Future, Channel, Barrier, network
 // receive) that schedule their resumption through the event queue.
 //
+// A configured engine (Engine::configure) runs as P cooperating
+// partitions under conservative WAN lookahead — see sim/partition.hpp
+// for the epoch/mailbox model and the determinism argument. An
+// unconfigured engine is the degenerate single-owner, single-partition
+// case and behaves exactly like the classic sequential engine.
+//
 // Contracts (relied on throughout the stack):
 //   * Determinism — given the same initial schedule, every run dispatches
-//     the same events at the same simulated times in the same order;
-//     trace_hash() fingerprints that stream and golden tests pin it.
-//     Nothing in the engine reads wall time or any other ambient state.
-//   * Thread-safety — an Engine and everything scheduled on it belong to
-//     one thread. Campaigns parallelize by giving each job its own
-//     Engine, never by sharing one.
+//     the same events at the same simulated times in the same canonical
+//     order, for every partition and thread count; trace_hash()
+//     fingerprints that stream (as an owner-decomposed FNV fold, so the
+//     value is partition-independent by construction) and golden tests
+//     pin it.  Nothing in the engine reads wall time or any other
+//     ambient state.
+//   * Thread-safety — an Engine belongs to one *run* at a time. In a
+//     partitioned run the engine's worker threads each own a disjoint
+//     set of partitions; everything an event touches must be confined
+//     to its owner (the network/runtime layers are sharded this way),
+//     and cross-owner effects must travel through schedule_on with at
+//     least `lookahead` of simulated delay. Campaigns still parallelize
+//     by giving each job its own Engine.
 //   * Observability — attach_trace() connects an optional trace::Session
 //     (flight recorder + metrics registry, see src/trace/trace.hpp).
 //     With no session attached the engine does no tracing work beyond
 //     one null-pointer test per dispatched event, which is how the
-//     bench_engine microbenches run; instrumented layers cache
-//     tracer() once and guard each record site the same way.
+//     bench_engine microbenches run; instrumented layers call tracer()
+//     per record site (it resolves to the current owner's recorder
+//     shard) and guard each record the same way.
 //     Instrumentation may only *push* events into the recorder — it
 //     must never schedule events or spawn tasks, so a traced run
-//     dispatches the identical (time, seq) stream as an untraced one
+//     dispatches the identical canonical stream as an untraced one
 //     (trace_hash goldens) and post-hoc analysis such as
 //     src/trace/causal/ sees real timings, not probe effects.
 
+#include <cassert>
 #include <cstdint>
+#include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/partition.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 #include "trace/trace.hpp"
@@ -38,39 +55,78 @@ namespace alb::sim {
 
 class Engine {
  public:
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  SimTime now() const { return now_; }
+  /// Applies a partitioned-run configuration. Must be called before
+  /// anything is scheduled or spawned; resets all per-owner state.
+  /// Clamps partitions to [1, owners] and falls back to a single
+  /// partition when lookahead == 0 (degenerate topology — there is no
+  /// safe window to run ahead in).
+  void configure(const PartitionConfig& cfg);
 
-  /// Schedules `fn` at absolute simulated time `t` (must be >= now()).
+  int owners() const { return owners_; }
+  int partitions() const { return partitions_; }
+  SimTime lookahead() const { return lookahead_; }
+  /// Epoch barriers crossed by the last partitioned run (0 for a
+  /// sequential run).
+  std::uint64_t epochs() const { return epochs_; }
+
+  /// The owner whose event is currently dispatching on this thread, or
+  /// the setup pseudo-owner (== owners()) outside any dispatch.
+  OwnerId current_owner() const;
+
+  /// Current simulated time: the dispatching partition's clock during a
+  /// run, the run's final time (max over partitions) after it.
+  SimTime now() const;
+
+  /// Schedules `fn` at absolute simulated time `t` (must be >= now())
+  /// in the current owner's context.
   void schedule_at(SimTime t, UniqueFunction fn);
   /// Schedules `fn` after `delay` nanoseconds (negative delays clamp to 0).
   void schedule_after(SimTime delay, UniqueFunction fn);
 
+  /// Schedules `fn` at absolute time `t` in owner `dest`'s context.
+  /// This is the only cross-owner edge in the engine: when `dest` is
+  /// hosted by another partition the event is staged in that
+  /// partition's mailbox and merged at the epoch barrier. Cross-owner
+  /// sends must respect the lookahead window (t >= now() + lookahead);
+  /// the network layer's WAN latency guarantees this.
+  void schedule_on(OwnerId dest, SimTime t, UniqueFunction fn);
+
   /// Coroutine fast path: schedules `h.resume()` at absolute time `t`
   /// without wrapping the handle in a callable. Used by delay(), Future,
   /// Channel and the Task continuation bridge — the steady-state resume
-  /// path allocates nothing.
+  /// path allocates nothing. Always owner-local: a coroutine is resumed
+  /// by state confined to its own owner.
   void schedule_resume(SimTime t, std::coroutine_handle<> h);
   /// Same, `delay` nanoseconds from now (negative delays clamp to 0).
   void schedule_resume_after(SimTime delay, std::coroutine_handle<> h);
 
-  /// Starts a detached root process. The coroutine body begins executing
-  /// at the current simulated time, through the event queue (so spawns
-  /// performed during setup all begin at t=0, in spawn order).
+  /// Starts a detached root process in the current owner's context. The
+  /// coroutine body begins executing at the current simulated time,
+  /// through the event queue (so spawns performed during setup all
+  /// begin at t=0, in spawn order).
   void spawn(Task<void> task);
 
-  /// Runs until the event queue is empty or stop() is called.
-  /// Returns the number of events processed by this call.
+  /// Starts a detached root process in owner `dest`'s context. During a
+  /// run this must be owner-local (handlers spawn onto their own
+  /// owner); cross-owner spawns are a setup-time operation.
+  void spawn_on(OwnerId dest, Task<void> task);
+
+  /// Runs until every partition's event queue is empty (or, in a
+  /// sequential run, stop() is called). Returns the number of events
+  /// processed by this call.
   std::uint64_t run();
 
   /// Runs events with time <= t; afterwards now() == t if the queue
   /// emptied or the next event is later. Returns false if stopped.
+  /// Sequential runs only (partitions() == 1).
   bool run_until(SimTime t);
 
-  /// Makes run()/run_until() return after the in-flight event completes.
+  /// Makes run()/run_until() return after the in-flight event
+  /// completes. Sequential runs only.
   void stop() { stopped_ = true; }
 
   /// co_await engine.delay(d): resume after d simulated nanoseconds.
@@ -89,50 +145,103 @@ class Engine {
   /// events already scheduled for now()).
   auto yield() { return delay(0); }
 
-  std::uint64_t events_processed() const { return events_processed_; }
-  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_processed() const;
+  /// Events dispatched in owner `o`'s context (partition-independent).
+  std::uint64_t owner_events(OwnerId o) const {
+    return owner_events_[static_cast<std::size_t>(o)];
+  }
+  std::size_t pending_events() const;
 
-  std::uint64_t tasks_spawned() const { return tasks_spawned_; }
-  std::uint64_t tasks_finished() const { return tasks_finished_; }
+  std::uint64_t tasks_spawned() const;
+  std::uint64_t tasks_finished() const;
   /// Spawned root processes that have not finished yet. Zero after run()
   /// completes on a deadlock-free simulation.
-  std::uint64_t tasks_pending() const { return tasks_spawned_ - tasks_finished_; }
+  std::uint64_t tasks_pending() const { return tasks_spawned() - tasks_finished(); }
 
-  /// FNV-1a hash over the (time, seq) stream of processed events —
-  /// a cheap but sensitive probe for determinism tests.
-  std::uint64_t trace_hash() const { return trace_hash_; }
+  /// FNV-1a fold over the per-owner hashes of the canonical
+  /// (time, lamport, owner) dispatch stream — a cheap but sensitive
+  /// probe for determinism tests. Partition- and thread-independent by
+  /// construction: each owner's events hash into that owner's
+  /// accumulator in canonical order, and the accumulators fold in owner
+  /// order.
+  std::uint64_t trace_hash() const;
 
   // --- observability -------------------------------------------------
   /// Attaches (or detaches, with nullptr) a trace session. Not owned;
-  /// the session must outlive every subsequent dispatch. Layers built
-  /// on the engine reach the session through trace_session()/tracer()
-  /// at construction time and cache what they need.
-  void attach_trace(trace::Session* s) {
-    session_ = s;
-    tracer_ = s ? s->recorder() : nullptr;
-  }
+  /// the session must outlive every subsequent dispatch. If the session
+  /// is sharded by owner (trace::Session::shard_by_owner), records are
+  /// routed to the current owner's recorder shard.
+  void attach_trace(trace::Session* s);
   trace::Session* trace_session() const { return session_; }
-  /// The flight recorder, or nullptr when tracing is off — record sites
-  /// guard with exactly this pointer.
-  trace::Recorder* tracer() const { return tracer_; }
+  /// The current owner's flight recorder, or nullptr when tracing is
+  /// off — record sites guard with exactly this pointer. Setup-time
+  /// records (outside any dispatch) route to owner 0's shard.
+  trace::Recorder* tracer() const;
 
  private:
   friend struct DetachedTask;
-  void note_task_finished() {
-    ++tasks_finished_;
-    if (tracer_) tracer_->instant(trace::Category::Sim, "task.finish", -1, tasks_finished_);
-  }
-  void dispatch(EventQueue::Event e);
 
-  EventQueue queue_;
-  SimTime now_ = 0;
+  /// One partition: an event queue plus its local clock and counters.
+  /// Padded out so adjacent partitions never share a cache line in the
+  /// epoch loop.
+  struct alignas(64) Partition {
+    EventQueue queue;
+    SimTime now = 0;
+    std::uint64_t events = 0;
+    SimTime scratch_min = 0;  ///< per-epoch floor candidate
+  };
+
+  /// A cross-partition event staged in a gateway mailbox. Carries the
+  /// canonical key assigned at schedule time, so draining is a plain
+  /// key-ordered insert — the merge order is the canonical order.
+  struct Staged {
+    SimTime time;
+    EventKey key;
+    OwnerId exec_owner;
+    UniqueFunction fn;
+  };
+
+  int partition_of(OwnerId o) const { return static_cast<int>(o) % partitions_; }
+  EventKey next_key(OwnerId scheduler) {
+    return EventKey{++lamport_[static_cast<std::size_t>(scheduler)], scheduler};
+  }
+  /// The owner charged with executing plain (non-schedule_on)
+  /// scheduling from the current context: the dispatching owner, or
+  /// owner 0 for setup-time scheduling.
+  OwnerId exec_owner_here() const {
+    const OwnerId o = current_owner();
+    return o >= static_cast<OwnerId>(owners_) ? 0 : o;
+  }
+  trace::Recorder* tracer_for(OwnerId o) const {
+    if (!tracers_.empty()) return tracers_[static_cast<std::size_t>(o)];
+    return tracer_single_;
+  }
+  void push_local(SimTime t, EventKey key, OwnerId exec, UniqueFunction fn);
+  void note_task_finished();
+  void dispatch(int pidx, EventQueue::Event e);
+  std::uint64_t run_sequential();
+  std::uint64_t run_partitioned();
+  void process_epoch(int pidx, SimTime horizon);
+  void drain_mail(int pidx);
+  int resolve_threads() const;
+
+  std::vector<Partition> parts_;
+  std::vector<std::vector<Staged>> mail_;  // [src * P + dst], src-writer only
+  std::vector<std::uint64_t> lamport_;     // per owner, + setup pseudo-owner
+  std::vector<std::uint64_t> hash_;        // per-owner FNV accumulators
+  std::vector<std::uint64_t> owner_events_;
+  std::vector<std::uint64_t> owner_tasks_spawned_;
+  std::vector<std::uint64_t> owner_tasks_finished_;
+  int owners_ = 1;
+  int partitions_ = 1;
+  int threads_cfg_ = 0;
+  SimTime lookahead_ = 0;
+  SimTime now_ = 0;  ///< outside-run clock (final time after run())
+  std::uint64_t epochs_ = 0;
   bool stopped_ = false;
-  std::uint64_t events_processed_ = 0;
-  std::uint64_t tasks_spawned_ = 0;
-  std::uint64_t tasks_finished_ = 0;
-  std::uint64_t trace_hash_ = 1469598103934665603ull;  // FNV offset basis
   trace::Session* session_ = nullptr;
-  trace::Recorder* tracer_ = nullptr;
+  trace::Recorder* tracer_single_ = nullptr;
+  std::vector<trace::Recorder*> tracers_;  // per owner when sharded
 };
 
 /// Publishes the engine's run counters into `m` under the `sim/` scope

@@ -17,13 +17,26 @@ std::uint32_t EventQueue::acquire_node() {
   return nodes_in_use_++;
 }
 
-std::uint64_t EventQueue::enqueue(SimTime t, std::uint32_t n) {
+void EventQueue::enqueue(SimTime t, std::uint32_t n) {
   Node& nd = node(n);
-  nd.seq = next_seq_++;
   nd.next = kNil;
   if (TimeMap::Cell* c = lists_.find(t)) {
-    node(c->tail).next = n;
-    c->tail = n;
+    // Keep the list sorted by key. Owners mostly schedule in ascending
+    // Lamport order, so appending at the tail is the common case; a
+    // drained cross-partition mailbox is the main source of mid-list
+    // inserts.
+    if (node(c->tail).key < nd.key) {
+      node(c->tail).next = n;
+      c->tail = n;
+    } else if (nd.key < node(c->head).key) {
+      nd.next = c->head;
+      c->head = n;
+    } else {
+      std::uint32_t prev = c->head;
+      while (node(node(prev).next).key < nd.key) prev = node(prev).next;
+      nd.next = node(prev).next;
+      node(prev).next = n;
+    }
   } else {
     TimeMap::Cell& fresh = lists_.insert(t);
     fresh.head = n;
@@ -31,19 +44,25 @@ std::uint64_t EventQueue::enqueue(SimTime t, std::uint32_t n) {
     heap_push(t);
   }
   ++size_;
-  return nd.seq;
 }
 
-std::uint64_t EventQueue::push(SimTime t, UniqueFunction fn) {
+void EventQueue::push(SimTime t, EventKey key, std::int32_t exec_owner, UniqueFunction fn) {
   const std::uint32_t n = acquire_node();
-  node(n).fn = std::move(fn);
-  return enqueue(t, n);
+  Node& nd = node(n);
+  nd.key = key;
+  nd.exec_owner = exec_owner;
+  nd.fn = std::move(fn);
+  enqueue(t, n);
 }
 
-std::uint64_t EventQueue::push_resume(SimTime t, std::coroutine_handle<> h) {
+void EventQueue::push_resume(SimTime t, EventKey key, std::int32_t exec_owner,
+                             std::coroutine_handle<> h) {
   const std::uint32_t n = acquire_node();
-  node(n).resume = h;
-  return enqueue(t, n);
+  Node& nd = node(n);
+  nd.key = key;
+  nd.exec_owner = exec_owner;
+  nd.resume = h;
+  enqueue(t, n);
 }
 
 void EventQueue::heap_push(SimTime t) {
@@ -97,7 +116,7 @@ EventQueue::Event EventQueue::pop() {
   } else {
     c->head = nd.next;
   }
-  Event e{top_time, nd.seq, nd.resume, std::move(nd.fn)};
+  Event e{top_time, nd.key, nd.exec_owner, nd.resume, std::move(nd.fn)};
   nd.resume = nullptr;
   free_nodes_.push_back(ni);
   --size_;

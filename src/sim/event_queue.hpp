@@ -1,9 +1,16 @@
 #pragma once
 // Deterministic pending-event set.
 //
-// Events are totally ordered by (time, insertion sequence): two events at
-// the same simulated time fire in the order they were scheduled. This
-// FIFO tie-break is what makes every simulation run bit-reproducible.
+// Events are totally ordered by (time, lamport, key_owner). The
+// (lamport, key_owner) pair is a *canonical key* assigned by the engine:
+// `key_owner` is the partition owner (cluster) that scheduled the event
+// and `lamport` comes from that owner's Lamport counter, which is
+// max-updated from every event the owner dispatches. The resulting
+// order is a pure function of the simulation itself — it does not
+// depend on how owners are mapped onto partitions or threads — which is
+// what lets a partitioned run (`--partitions N`) reproduce the
+// sequential schedule bit-for-bit (see sim/partition.hpp).
+//
 // Because the order is total, the extraction sequence is independent of
 // the container's internal shape — which frees the implementation to
 // optimize storage around how simulations actually schedule:
@@ -11,10 +18,11 @@
 //   * pending times repeat heavily (same-time wakeups, link busy-until
 //     clustering), so the priority heap holds one 16-byte POD entry per
 //     DISTINCT time, not per event — most pushes and pops never sift;
-//   * all events at one time form an intrusive FIFO list through a
-//     recycled node pool (chunked, so node addresses are stable and pool
-//     growth never moves live events); FIFO order IS seq order because
-//     the sequence counter is monotonic;
+//   * all events at one time form an intrusive list through a recycled
+//     node pool (chunked, so node addresses are stable and pool growth
+//     never moves live events), kept sorted by (lamport, key_owner).
+//     Scheduling runs mostly in key order already, so the common case
+//     is an O(1) append at the tail;
 //   * nodes, list heads and the time->list index are all recycled — a
 //     steady-state push/pop cycle performs no heap allocation;
 //   * an event body is either a callable (UniqueFunction, itself
@@ -32,12 +40,26 @@
 
 namespace alb::sim {
 
+/// Canonical same-time tie-break key. Strict weak order: lamport first,
+/// owner second; the engine guarantees (lamport, owner) pairs are unique
+/// across a run.
+struct EventKey {
+  std::uint64_t lamport = 0;
+  std::int32_t owner = 0;
+
+  friend bool operator<(const EventKey& a, const EventKey& b) {
+    if (a.lamport != b.lamport) return a.lamport < b.lamport;
+    return a.owner < b.owner;
+  }
+};
+
 class EventQueue {
  public:
   /// A popped event: exactly one of {resume, fn} is set.
   struct Event {
     SimTime time;
-    std::uint64_t seq;
+    EventKey key;
+    std::int32_t exec_owner = 0;  ///< owner whose context runs the body
     std::coroutine_handle<> resume{};
     UniqueFunction fn;
 
@@ -57,11 +79,13 @@ class EventQueue {
   /// Time of the earliest pending event; undefined when empty.
   SimTime next_time() const { return heap_times_.front(); }
 
-  /// Schedules `fn` at absolute time `t`; returns the event's sequence id.
-  std::uint64_t push(SimTime t, UniqueFunction fn);
+  /// Schedules `fn` at absolute time `t` under canonical key `key`,
+  /// to run in `exec_owner`'s context.
+  void push(SimTime t, EventKey key, std::int32_t exec_owner, UniqueFunction fn);
 
   /// Coroutine fast path: schedules a bare handle resumption at `t`.
-  std::uint64_t push_resume(SimTime t, std::coroutine_handle<> h);
+  void push_resume(SimTime t, EventKey key, std::int32_t exec_owner,
+                   std::coroutine_handle<> h);
 
   /// Removes and returns the earliest event.
   Event pop();
@@ -69,10 +93,11 @@ class EventQueue {
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
 
-  /// One pending event body; `next` chains same-time events in FIFO
-  /// (= seq) order.
+  /// One pending event body; `next` chains same-time events in
+  /// ascending key order.
   struct Node {
-    std::uint64_t seq = 0;
+    EventKey key;
+    std::int32_t exec_owner = 0;
     std::uint32_t next = kNil;
     std::coroutine_handle<> resume{};
     UniqueFunction fn;
@@ -84,22 +109,21 @@ class EventQueue {
 
   Node& node(std::uint32_t i) { return chunks_[i >> kChunkShift][i & kChunkMask]; }
   std::uint32_t acquire_node();
-  std::uint64_t enqueue(SimTime t, std::uint32_t n);
+  void enqueue(SimTime t, std::uint32_t n);
   void heap_push(SimTime t);
   void heap_pop();
 
   // 8-ary implicit heap of bare times, one entry per distinct pending
-  // time (times in the heap are unique — each one's FIFO list lives in
+  // time (times in the heap are unique — each one's sorted list lives in
   // its TimeMap cell). Eight 8-byte keys per cache line, so a sift-down
   // level's child scan costs roughly one line.
   static constexpr std::size_t kArity = 8;
 
   std::vector<SimTime> heap_times_;
-  TimeMap lists_;  // time -> {head, tail} of its pending FIFO list
+  TimeMap lists_;  // time -> {head, tail} of its pending key-sorted list
   std::vector<std::unique_ptr<Node[]>> chunks_;
   std::vector<std::uint32_t> free_nodes_;
   std::uint32_t nodes_in_use_ = 0;  // high-water count of constructed nodes
-  std::uint64_t next_seq_ = 0;
   std::size_t size_ = 0;
 };
 

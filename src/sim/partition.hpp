@@ -1,0 +1,65 @@
+#pragma once
+// Partitioned execution: types for the conservative-lookahead engine.
+//
+// One simulation can run as P cooperating *partitions*, each owning its
+// own EventQueue, clock and node pool. Work is keyed by *owner* — in a
+// networked simulation, one owner per cluster — and owner o is hosted
+// on partition o % P. Partitions synchronize with classic conservative
+// PDES epochs:
+//
+//   floor   F = minimum next-event time across all partitions
+//   horizon H = F + lookahead
+//
+// where `lookahead` is the minimum intercluster (WAN) latency: no owner
+// can cause an effect on another owner sooner than one WAN traversal.
+// Within an epoch every partition dispatches its events with
+// time < H (strictly — an event exactly at the horizon waits for the
+// next epoch); cross-partition sends are staged in per-(src,dst)
+// mailboxes and drained at the epoch barrier. Staged arrivals always
+// land at or beyond H (the sender executes at t >= F and the effect
+// travels >= lookahead), so no partition ever receives an event from
+// its own past.
+//
+// Determinism: every event carries a canonical (lamport, owner) key
+// assigned at schedule time (see sim/event_queue.hpp). The key — and
+// therefore the dispatch order, the trace hash and every downstream
+// byte — is a pure function of the simulation, independent of P and of
+// thread count. `--partitions N` is byte-identical to `--partitions 1`,
+// which in turn is the reference sequential schedule.
+//
+// Degenerate cases: lookahead == 0 (single cluster, or a custom
+// topology with zero WAN latency) offers no safe window, so the engine
+// falls back to a single partition; partitions > owners is clamped.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace alb::sim {
+
+/// Identifies a logical owner of simulation state (a cluster in the
+/// network stack). Owners are dense: 0 .. owners-1. The engine reserves
+/// one extra pseudo-owner id (== owners) for setup-time scheduling done
+/// outside any dispatch.
+using OwnerId = std::int32_t;
+
+/// Partitioned-run configuration, applied with Engine::configure()
+/// before anything is scheduled or spawned.
+struct PartitionConfig {
+  /// Logical owners (clusters). Canonical event keys are per-owner, so
+  /// this also fixes the key space; it must match the topology.
+  int owners = 1;
+  /// Cooperating partitions P (1 = sequential reference schedule).
+  /// Clamped to [1, owners]; forced to 1 when lookahead == 0.
+  int partitions = 1;
+  /// Conservative lookahead window: the minimum simulated time for a
+  /// cross-owner effect (min intercluster latency). Must be > 0 for a
+  /// multi-partition run to make progress safely.
+  SimTime lookahead = 0;
+  /// Worker threads for the epoch loop. 0 = min(partitions,
+  /// hardware_concurrency). Thread count never changes any output byte,
+  /// only wall-clock speed.
+  int threads = 0;
+};
+
+}  // namespace alb::sim

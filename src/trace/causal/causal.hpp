@@ -121,7 +121,11 @@ struct Dag {
   /// Incoming-edge index per event (kNone when absent). By construction
   /// an event has at most one predecessor of each kind.
   std::vector<std::uint32_t> in_program, in_message, in_wake;
-  std::uint32_t sink = kNone;  ///< latest process (non-deliver) event
+  /// The run's completion anchor: the last orca.proc.finish when one is
+  /// present (post-completion control chatter, e.g. sequencer-token
+  /// parking, never extends the path), else the latest process
+  /// (non-deliver) event.
+  std::uint32_t sink = kNone;
   sim::SimTime end = 0;        ///< time of `sink`
   std::uint64_t orphan_ends = 0;  ///< Ends dropped by normalization
   net::TopologyConfig net;

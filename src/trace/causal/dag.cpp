@@ -152,6 +152,7 @@ Dag build_dag(const Trace& trace, const net::TopologyConfig& net_cfg) {
     return idx;
   };
 
+  std::uint32_t last_finish = kNone;
   for (std::uint32_t i = 0; i < n; ++i) {
     const TraceEvent& e = dag.events[i];
     const string_view name(e.name);
@@ -292,6 +293,7 @@ Dag build_dag(const Trace& trace, const net::TopologyConfig& net_cfg) {
     as.last_chain = i;
     dag.sink = i;  // events are time-ordered: the last chain event wins
     dag.end = e.time;
+    if (name == "orca.proc.finish") last_finish = i;
 
     // State transitions take effect for the *next* gap at this node.
     if (name == "app.compute") {
@@ -310,6 +312,15 @@ Dag build_dag(const Trace& trace, const net::TopologyConfig& net_cfg) {
       // Recorded at node 0 while releasing: rank 0's own wait ends here.
       as.barrier_wait = false;
     }
+  }
+
+  // Anchor the sink to run completion: control traffic that outlives
+  // the last process — e.g. the rotating sequencer's token finishing
+  // its grant-free revolution before parking — is cooldown, not part of
+  // any cause chain to a finish, and must not stretch the path.
+  if (last_finish != kNone) {
+    dag.sink = last_finish;
+    dag.end = dag.events[last_finish].time;
   }
 
   return dag;

@@ -98,8 +98,13 @@ struct Config {
 
 class Recorder {
  public:
-  explicit Recorder(const Config& cfg)
-      : capacity_(cfg.capacity ? cfg.capacity : 1), engine_events_(cfg.engine_events) {
+  /// `first_span_id` partitions the synthetic span-id space when several
+  /// recorder shards feed one merged trace (Session::shard_by_owner):
+  /// shard o starts at (o+1) << 48, so ids never collide across shards.
+  explicit Recorder(const Config& cfg, std::uint64_t first_span_id = 1)
+      : capacity_(cfg.capacity ? cfg.capacity : 1),
+        next_span_id_(first_span_id),
+        engine_events_(cfg.engine_events) {
     ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
   }
   Recorder(const Recorder&) = delete;
@@ -192,14 +197,80 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   /// Null when tracing is disabled — callers cache this pointer and
-  /// guard each record with it.
+  /// guard each record with it. Null after shard_by_owner(): a sharded
+  /// session is reached through recorder_shard() / Engine::tracer().
   Recorder* recorder() { return rec_.get(); }
   Metrics& metrics() { return metrics_; }
   const Config& config() const { return config_; }
 
+  /// Splits the session into one recorder shard per owner (cluster), so
+  /// a partitioned run can record without sharing a ring across
+  /// partition threads. The ring capacity is divided evenly across
+  /// shards. No-op when tracing is disabled. Shard contents are
+  /// partition-independent: each record lands in the *dispatching
+  /// owner's* shard, in that owner's canonical dispatch order, whatever
+  /// the partition or thread count.
+  void shard_by_owner(int owners) {
+    if (!config_.enabled || owners <= 0) return;
+    rec_.reset();
+    Config per = config_;
+    per.capacity = config_.capacity / static_cast<std::size_t>(owners);
+    if (per.capacity == 0) per.capacity = 1;
+    shards_.clear();
+    shards_.reserve(static_cast<std::size_t>(owners));
+    for (int o = 0; o < owners; ++o) {
+      shards_.push_back(std::make_unique<Recorder>(
+          per, (static_cast<std::uint64_t>(o) + 1) << 48));
+    }
+  }
+
+  bool sharded() const { return !shards_.empty(); }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  /// Owner `o`'s recorder shard (null when tracing is disabled).
+  Recorder* recorder_shard(int o) {
+    return shards_.empty() ? rec_.get() : shards_[static_cast<std::size_t>(o)].get();
+  }
+
+  /// Harvests the whole session chronologically: the single ring, or —
+  /// when sharded — a deterministic k-way merge of the per-owner shards
+  /// keyed by (time, shard index). Each shard is already time-sorted and
+  /// its contents are partition-independent, so the merged stream is
+  /// byte-identical across partition and thread counts.
+  Trace harvest_merged() const {
+    if (shards_.empty()) {
+      return rec_ ? rec_->harvest() : Trace{};
+    }
+    Trace out;
+    std::vector<Trace> parts;
+    parts.reserve(shards_.size());
+    std::size_t total = 0;
+    for (const auto& s : shards_) {
+      parts.push_back(s->harvest());
+      out.recorded += parts.back().recorded;
+      out.dropped += parts.back().dropped;
+      out.capacity += parts.back().capacity;
+      total += parts.back().events.size();
+    }
+    out.events.reserve(total);
+    std::vector<std::size_t> cursor(parts.size(), 0);
+    while (out.events.size() < total) {
+      std::size_t best = parts.size();
+      for (std::size_t s = 0; s < parts.size(); ++s) {
+        if (cursor[s] >= parts[s].events.size()) continue;
+        if (best == parts.size() ||
+            parts[s].events[cursor[s]].time < parts[best].events[cursor[best]].time) {
+          best = s;
+        }
+      }
+      out.events.push_back(parts[best].events[cursor[best]++]);
+    }
+    return out;
+  }
+
  private:
   Config config_;
   std::unique_ptr<Recorder> rec_;
+  std::vector<std::unique_ptr<Recorder>> shards_;  // per owner, when sharded
   Metrics metrics_;
 };
 

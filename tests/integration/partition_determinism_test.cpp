@@ -1,0 +1,97 @@
+// Partitioned execution is an implementation detail, not a semantics
+// change: for every application in the suite, `partitions = N` must
+// reproduce the sequential reference run byte for byte — same elapsed
+// simulated time, same computed answer, same event count, same trace
+// hash. This file is the whole-stack acceptance gate for the
+// conservative-lookahead engine (the sim-layer mechanics are covered
+// in tests/sim/partition_test.cpp).
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "apps/tsp.hpp"
+#include "net/presets.hpp"
+
+namespace alb::apps {
+namespace {
+
+AppConfig base_cfg() {
+  AppConfig c;
+  c.clusters = 4;
+  c.procs_per_cluster = 2;
+  c.net_cfg = net::das_config(4, 2);
+  c.seed = 42;
+  return c;
+}
+
+void expect_identical(const AppResult& ref, const AppResult& r, const std::string& what) {
+  EXPECT_EQ(r.elapsed, ref.elapsed) << what << ": simulated run time diverged";
+  EXPECT_EQ(r.checksum, ref.checksum) << what << ": computed answer diverged";
+  EXPECT_EQ(r.events, ref.events) << what << ": event count diverged";
+  EXPECT_EQ(r.trace_hash, ref.trace_hash) << what << ": event schedule diverged";
+  EXPECT_EQ(r.status, ref.status) << what << ": run status diverged";
+}
+
+TEST(PartitionDeterminism, EveryAppMatchesSequentialReference) {
+  for (const AppEntry& app : registry()) {
+    for (bool optimized : {false, true}) {
+      AppConfig cfg = base_cfg();
+      cfg.optimized = optimized;
+      const AppResult ref = app.run(cfg);  // partitions = 1: reference
+      for (int partitions : {2, 4}) {
+        AppConfig pcfg = cfg;
+        pcfg.partitions = partitions;
+        const std::string what = app.name + (optimized ? "/opt" : "/orig") + "/P" +
+                                 std::to_string(partitions);
+        expect_identical(ref, app.run(pcfg), what);
+      }
+    }
+  }
+}
+
+TEST(PartitionDeterminism, ExplicitThreadCountMatchesAuto) {
+  for (const AppEntry& app : registry()) {
+    AppConfig cfg = base_cfg();
+    cfg.partitions = 4;
+    const AppResult auto_threads = app.run(cfg);
+    cfg.threads = 2;
+    expect_identical(auto_threads, app.run(cfg), app.name + "/threads=2");
+  }
+}
+
+TEST(PartitionDeterminism, HoldsUnderFaultInjection) {
+  // The fault injector's per-cluster streams, retry timers and recovery
+  // protocol must all stay on the canonical schedule too. TSP original
+  // exercises the full recovery surface (remote job fetches over a
+  // lossy WAN).
+  apps::TspParams prm;
+  prm.cities = 10;
+  prm.job_depth = 3;
+  AppConfig cfg = base_cfg();
+  cfg.faults.enabled = true;
+  cfg.faults.wan.loss = 0.1;
+  cfg.faults.wan.latency_jitter = 0.25;
+  const AppResult ref = run_tsp(cfg, prm);
+  EXPECT_GT(ref.stats.value("net/fault.drops"), 0.0)
+      << "plan produced no drops; the faulted case is not exercising recovery";
+  for (int partitions : {2, 4}) {
+    AppConfig pcfg = cfg;
+    pcfg.partitions = partitions;
+    expect_identical(ref, run_tsp(pcfg, prm),
+                     "TSP/faulted/P" + std::to_string(partitions));
+  }
+}
+
+TEST(PartitionDeterminism, RejectsOutOfRangePartitionCounts) {
+  apps::TspParams prm;
+  prm.cities = 8;
+  prm.job_depth = 2;
+  AppConfig cfg = base_cfg();
+  cfg.partitions = 0;
+  EXPECT_THROW(run_tsp(cfg, prm), net::ConfigError);
+  cfg.partitions = 5;  // > clusters
+  EXPECT_THROW(run_tsp(cfg, prm), net::ConfigError);
+}
+
+}  // namespace
+}  // namespace alb::apps

@@ -47,8 +47,11 @@ net::FaultPlan fast_recovery_plan() {
 TEST(Recovery, RpcRetriesAfterForcedRequestDrop) {
   // Drop the first droppable WAN message (the RPC request); the retry
   // must go through and the operation must execute exactly once.
+  // force_drop ordinals count per source cluster; restrict the rule to
+  // cluster 1 (the caller) so only the request drops, not the reply.
   net::FaultPlan plan = fast_recovery_plan();
   plan.force_drop = {0};
+  plan.force_drop_from = 1;
   FaultedFixture f(net::das_config(2, 1), plan);
   auto obj = create_remote<Counter>(f.rt, 0, {});
   f.rt.spawn_all([&](Proc& p) -> sim::Task<void> {
@@ -65,11 +68,13 @@ TEST(Recovery, RpcRetriesAfterForcedRequestDrop) {
 }
 
 TEST(Recovery, LostReplyIsNotReExecuted) {
-  // Request (WAN droppable index 0) goes through; its *reply* (index 1)
-  // is dropped. The retried request must hit the server's dedup cache:
-  // the operation runs once, the cached reply is resent.
+  // The request (cluster 1's WAN stream) goes through; its *reply* —
+  // cluster 0's droppable index 0 — is dropped. The retried request
+  // must hit the server's dedup cache: the operation runs once, the
+  // cached reply is resent.
   net::FaultPlan plan = fast_recovery_plan();
-  plan.force_drop = {1};
+  plan.force_drop = {0};
+  plan.force_drop_from = 0;
   FaultedFixture f(net::das_config(2, 1), plan);
   auto obj = create_remote<Counter>(f.rt, 0, {});
   f.rt.spawn_all([&](Proc& p) -> sim::Task<void> {
@@ -86,12 +91,13 @@ TEST(Recovery, LostReplyIsNotReExecuted) {
 
 TEST(Recovery, SequencerRegrantsLostGrant) {
   // Force the centralized sequencer onto cluster 0 and broadcast from
-  // cluster 1: the get-sequence request is WAN droppable index 0, the
-  // grant index 1. Dropping the grant must trigger a regrant of the
-  // SAME sequence number — issued() stays 1, the broadcast applies
-  // exactly once everywhere.
+  // cluster 1: the get-sequence request rides cluster 1's WAN stream,
+  // the grant is cluster 0's droppable index 0. Dropping the grant must
+  // trigger a regrant of the SAME sequence number — issued() stays 1,
+  // the broadcast applies exactly once everywhere.
   net::FaultPlan plan = fast_recovery_plan();
-  plan.force_drop = {1};
+  plan.force_drop = {0};
+  plan.force_drop_from = 0;
   Runtime::Config rc;
   rc.sequencer = SequencerKind::Centralized;
   FaultedFixture f(net::das_config(2, 1), plan, rc);

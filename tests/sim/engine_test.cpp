@@ -13,28 +13,42 @@ namespace {
 TEST(EventQueue, PopsInTimeOrder) {
   EventQueue q;
   std::vector<int> order;
-  q.push(30, [&] { order.push_back(3); });
-  q.push(10, [&] { order.push_back(1); });
-  q.push(20, [&] { order.push_back(2); });
+  q.push(30, EventKey{1, 0}, 0, [&] { order.push_back(3); });
+  q.push(10, EventKey{2, 0}, 0, [&] { order.push_back(1); });
+  q.push(20, EventKey{3, 0}, 0, [&] { order.push_back(2); });
   while (!q.empty()) q.pop().fn();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, SameTimeIsFifo) {
+TEST(EventQueue, SameTimeOrdersByKey) {
+  // Same-time events pop in canonical (lamport, owner) key order, not in
+  // insertion order — push a permuted key sequence and expect key order.
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 100; ++i) {
-    q.push(42, [&order, i] { order.push_back(i); });
+    const std::uint64_t lamport = static_cast<std::uint64_t>((i * 37) % 100);
+    q.push(42, EventKey{lamport, 0}, 0,
+           [&order, lamport] { order.push_back(static_cast<int>(lamport)); });
   }
   while (!q.empty()) q.pop().fn();
   ASSERT_EQ(order.size(), 100u);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(EventQueue, SameTimeSameLamportOrdersByOwner) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int owner : {3, 0, 2, 1}) {
+    q.push(7, EventKey{5, owner}, owner, [&order, owner] { order.push_back(owner); });
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
 TEST(EventQueue, NextTimeTracksEarliest) {
   EventQueue q;
-  q.push(50, [] {});
-  q.push(5, [] {});
+  q.push(50, EventKey{1, 0}, 0, [] {});
+  q.push(5, EventKey{2, 0}, 0, [] {});
   EXPECT_EQ(q.next_time(), 5);
   q.pop();
   EXPECT_EQ(q.next_time(), 50);

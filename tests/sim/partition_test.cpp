@@ -1,0 +1,171 @@
+// Partitioned-engine semantics: configuration clamping, the
+// conservative-lookahead epoch loop's edge cases, and the core
+// guarantee that neither the partition count nor the thread count
+// changes a single output byte.
+//
+// The cross-thread stress tests double as the TSan target (see
+// tools/check.sh): they drive real worker threads through the epoch
+// barrier and the cross-partition mailboxes.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/partition.hpp"
+
+namespace alb::sim {
+namespace {
+
+constexpr SimTime kLookahead = 1'000'000;  // 1ms, a WAN-ish window
+
+PartitionConfig pcfg(int owners, int partitions, SimTime lookahead = kLookahead,
+                     int threads = 1) {
+  PartitionConfig pc;
+  pc.owners = owners;
+  pc.partitions = partitions;
+  pc.lookahead = lookahead;
+  pc.threads = threads;
+  return pc;
+}
+
+TEST(Partition, ConfigClampsPartitionsToOwners) {
+  Engine eng;
+  eng.configure(pcfg(4, 8));
+  EXPECT_EQ(eng.owners(), 4);
+  EXPECT_EQ(eng.partitions(), 4);
+
+  Engine eng2;
+  eng2.configure(pcfg(4, 0));
+  EXPECT_EQ(eng2.partitions(), 1);
+}
+
+TEST(Partition, ZeroLookaheadFallsBackToSequential) {
+  // A single cluster (or a degenerate topology with no WAN latency)
+  // offers no safe window to run ahead in: the engine must refuse to
+  // partition rather than run incorrectly.
+  Engine eng;
+  eng.configure(pcfg(4, 4, /*lookahead=*/0));
+  EXPECT_EQ(eng.partitions(), 1);
+  int fired = 0;
+  eng.schedule_after(5, [&] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.epochs(), 0u) << "sequential fallback must not run the epoch loop";
+}
+
+// The horizon is exclusive: an epoch with floor F dispatches events
+// with time strictly below F + lookahead. An event exactly at the
+// horizon belongs to the *next* epoch — dispatching it early would let
+// a partition act at the very instant a cross-partition effect may
+// still arrive for.
+TEST(Partition, EventExactlyAtHorizonWaitsForNextEpoch) {
+  auto run_with_second_event_at = [](SimTime t) {
+    Engine eng;
+    eng.configure(pcfg(2, 2));
+    int fired = 0;
+    eng.schedule_on(0, 0, [&] { ++fired; });
+    eng.schedule_on(1, t, [&] { ++fired; });
+    eng.run();
+    EXPECT_EQ(fired, 2);
+    return eng.epochs();
+  };
+  // Strictly inside the first horizon (F=0, H=lookahead): one epoch.
+  const std::uint64_t inside = run_with_second_event_at(kLookahead - 1);
+  // Exactly at the horizon: must wait for the next epoch.
+  const std::uint64_t at_horizon = run_with_second_event_at(kLookahead);
+  EXPECT_EQ(at_horizon, inside + 1)
+      << "an event exactly at F + lookahead must not dispatch in the epoch "
+         "with floor F";
+}
+
+/// A deterministic multi-owner workload: each owner runs a counter
+/// chain that repeatedly hands off to the next owner with exactly the
+/// lookahead window of delay (the way WAN-crossing messages do), and
+/// mixes in owner-local events at varied times. Returns the engine for
+/// inspection.
+struct WorkloadResult {
+  std::uint64_t trace_hash;
+  std::uint64_t events;
+  std::uint64_t epochs;
+  SimTime end;
+  std::vector<std::uint64_t> owner_events;
+};
+
+WorkloadResult run_ring_workload(int owners, int partitions, int threads, int rounds) {
+  Engine eng;
+  eng.configure(pcfg(owners, partitions, kLookahead, threads));
+  // One hand-off chain starting at every owner keeps all partitions
+  // busy in every epoch (not just a single token walking the ring).
+  struct Hop {
+    Engine* eng;
+    int owners;
+    int left;
+    void operator()() {
+      if (left == 0) return;
+      const OwnerId next = (eng->current_owner() + 1) % owners;
+      // Owner-local chatter at the current time, then the cross-owner
+      // hand-off one lookahead window out.
+      eng->schedule_after(left % 7, [] {});
+      eng->schedule_on(next, eng->now() + kLookahead, Hop{eng, owners, left - 1});
+    }
+  };
+  for (int o = 0; o < owners; ++o) {
+    eng.schedule_on(o, o % 3, Hop{&eng, owners, rounds});
+  }
+  eng.run();
+  WorkloadResult r;
+  r.trace_hash = eng.trace_hash();
+  r.events = eng.events_processed();
+  r.epochs = eng.epochs();
+  r.end = eng.now();
+  for (int o = 0; o < owners; ++o) r.owner_events.push_back(eng.owner_events(o));
+  return r;
+}
+
+TEST(Partition, PartitionCountNeverChangesBytes) {
+  const WorkloadResult p1 = run_ring_workload(4, 1, 1, 25);
+  for (int p : {2, 3, 4}) {
+    const WorkloadResult pn = run_ring_workload(4, p, 1, 25);
+    EXPECT_EQ(pn.trace_hash, p1.trace_hash) << "partitions=" << p;
+    EXPECT_EQ(pn.events, p1.events) << "partitions=" << p;
+    EXPECT_EQ(pn.end, p1.end) << "partitions=" << p;
+    EXPECT_EQ(pn.owner_events, p1.owner_events) << "partitions=" << p;
+  }
+}
+
+TEST(Partition, ThreadCountNeverChangesBytes) {
+  const WorkloadResult t1 = run_ring_workload(4, 4, 1, 25);
+  for (int threads : {2, 4, 0 /* auto */}) {
+    const WorkloadResult tn = run_ring_workload(4, 4, threads, 25);
+    EXPECT_EQ(tn.trace_hash, t1.trace_hash) << "threads=" << threads;
+    EXPECT_EQ(tn.events, t1.events) << "threads=" << threads;
+    EXPECT_EQ(tn.epochs, t1.epochs) << "threads=" << threads;
+  }
+}
+
+// Heavier cross-partition traffic on real worker threads; the
+// TSan-built run of this test is the data-race gate for the epoch
+// barrier and the per-(src,dst) gateway mailboxes.
+TEST(Partition, ThreadedStressStaysDeterministic) {
+  const WorkloadResult ref = run_ring_workload(8, 1, 1, 120);
+  const WorkloadResult a = run_ring_workload(8, 8, 4, 120);
+  const WorkloadResult b = run_ring_workload(8, 8, 4, 120);
+  EXPECT_EQ(a.trace_hash, ref.trace_hash);
+  EXPECT_EQ(a.events, ref.events);
+  EXPECT_EQ(a.end, ref.end);
+  EXPECT_EQ(b.trace_hash, a.trace_hash) << "same config, same process: must repeat";
+  EXPECT_GT(a.epochs, 1u) << "stress run is expected to cross many epoch barriers";
+}
+
+TEST(Partition, SequentialRunReportsNoEpochs) {
+  Engine eng;  // unconfigured: degenerate single-owner case
+  eng.schedule_after(3, [] {});
+  eng.run();
+  EXPECT_EQ(eng.partitions(), 1);
+  EXPECT_EQ(eng.epochs(), 0u);
+}
+
+}  // namespace
+}  // namespace alb::sim

@@ -89,6 +89,10 @@ int main(int argc, char** argv) {
   opts.define("per", "15", "processes per cluster");
   opts.define_flag("opt", "run the wide-area-optimized variant");
   opts.define("seed", "42", "workload seed");
+  opts.define("partitions", "1",
+              "engine partitions (1..clusters); any value produces byte-identical output");
+  opts.define("threads", "0",
+              "epoch-loop worker threads for a partitioned run (0 = auto)");
   opts.define("capacity", "1048576", "flight-recorder ring capacity (events)");
   opts.define_flag("engine-events", "also record one instant per engine event (high volume)");
   opts.define("trace-out", "", "write Chrome trace_event JSON here");
@@ -128,6 +132,17 @@ int main(int argc, char** argv) {
     cfg.net_cfg = net::das_config(cfg.clusters, cfg.procs_per_cluster);
     cfg.optimized = opts.has_flag("opt");
     cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+    cfg.partitions = static_cast<int>(opts.get_int("partitions"));
+    if (cfg.partitions < 1 || cfg.partitions > cfg.clusters) {
+      throw std::runtime_error("--partitions must be in [1, clusters] (got " +
+                               std::to_string(cfg.partitions) + " with " +
+                               std::to_string(cfg.clusters) + " cluster(s))");
+    }
+    cfg.threads = static_cast<int>(opts.get_int("threads"));
+    if (cfg.threads < 0) {
+      throw std::runtime_error("--threads must be >= 0 (got " +
+                               std::to_string(cfg.threads) + ")");
+    }
     cfg.trace.enabled = true;
     cfg.trace.capacity = static_cast<std::size_t>(opts.get_int("capacity"));
     cfg.trace.engine_events = opts.has_flag("engine-events");

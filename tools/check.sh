@@ -34,14 +34,18 @@ cmake --build build-release -j "$JOBS"
 echo "=== ctest: release build ==="
 ctest --test-dir build-release --output-on-failure -j "$JOBS"
 
-echo "=== configure + build: TSan (campaign engine) ==="
+echo "=== configure + build: TSan (campaign + partitioned engine) ==="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DALB_SANITIZE=thread > /dev/null
-cmake --build build-tsan --target test_campaign -j "$JOBS"
+cmake --build build-tsan --target test_campaign test_sim test_partition -j "$JOBS"
 
 echo "=== TSan: campaign tests ==="
 ./build-tsan/tests/test_campaign
+
+echo "=== TSan: partitioned-engine tests (epoch barrier + mailboxes) ==="
+./build-tsan/tests/test_sim --gtest_filter='Partition.*'
+./build-tsan/tests/test_partition
 
 echo "=== campaign determinism smoke: --jobs 4 CSV must equal --jobs 1 ==="
 for fig in bench_fig_water bench_fig15; do
@@ -144,6 +148,20 @@ diff build-release/BENCH_resilience.j1.json build-release/BENCH_resilience.j4.js
   || { echo "bench_resilience: parallel JSON differs from sequential"; exit 1; }
 # TSan coverage for the faulted path itself comes from test_campaign's
 # FaultedRunsMatchAcrossJobsCounts, run above.
+
+echo "=== partition determinism: --partitions 4 must equal --partitions 1 ==="
+# The conservative-lookahead engine's whole-stack contract: every output
+# byte (summary CSV, metrics, counters) is independent of the partition
+# count — clean and under fault injection.
+PART_ARGS=(--app ASP --clusters 4 --per 2 --csv)
+./build-release/tools/alb-trace "${PART_ARGS[@]}" --partitions 1 > build-release/alb-trace.p1.csv
+./build-release/tools/alb-trace "${PART_ARGS[@]}" --partitions 4 > build-release/alb-trace.p4.csv
+diff build-release/alb-trace.p1.csv build-release/alb-trace.p4.csv \
+  || { echo "partitioned run differs from sequential reference"; exit 1; }
+./build-release/tools/alb-trace "${PART_ARGS[@]}" --faults --partitions 1 > build-release/alb-trace.p1f.csv
+./build-release/tools/alb-trace "${PART_ARGS[@]}" --faults --partitions 4 > build-release/alb-trace.p4f.csv
+diff build-release/alb-trace.p1f.csv build-release/alb-trace.p4f.csv \
+  || { echo "faulted partitioned run differs from sequential reference"; exit 1; }
 
 echo "=== docs: no dead relative links ==="
 fail=0
