@@ -49,6 +49,18 @@ struct AppConfig {
   /// src/net/fault.hpp and docs/RESILIENCE.md). A disabled plan is a
   /// strict no-op: the run is byte-identical to one without this field.
   net::FaultPlan faults;
+  /// Wide-area collective routing (--coll). Flat is byte-identical to
+  /// the historical dissemination; Tree also arms gateway message
+  /// combining at orca::coll::kTreeDefaultCombineBytes unless the
+  /// config chose its own threshold.
+  orca::coll::Mode coll = orca::coll::Mode::Flat;
+  /// Parallel WAN sub-streams per circuit (--wan-streams); forwarded to
+  /// net_cfg.wan_transport.streams when != 1.
+  int wan_streams = 1;
+  /// Gateway combine threshold in bytes (--combine-bytes); < 0 leaves
+  /// the policy default (0 for Flat, kTreeDefaultCombineBytes for
+  /// Tree), 0 disables combining explicitly.
+  std::int64_t combine_bytes = -1;
 
   int total_procs() const { return clusters * procs_per_cluster; }
 };
@@ -101,7 +113,7 @@ struct Harness {
 
   Harness(const AppConfig& cfg, orca::Runtime::Config rtc = {})
       : trace(cfg.trace), net(prepare(eng, trace, cfg), patch(cfg), cfg.faults, cfg.seed),
-        rt(net, rtc) {}
+        rt(net, with_coll(std::move(rtc), cfg)) {}
 
   /// Spawns, runs to completion and fills in elapsed + traffic +
   /// compute/communication breakdown + the per-layer metrics snapshot
@@ -166,7 +178,22 @@ struct Harness {
     net::TopologyConfig t = cfg.net_cfg;
     t.clusters = cfg.clusters;
     t.nodes_per_cluster = cfg.procs_per_cluster;
+    // Transport-level WAN knobs. Only non-default AppConfig values
+    // overwrite net_cfg, so configs that set wan_transport directly
+    // keep working.
+    if (cfg.wan_streams != 1) t.wan_transport.streams = cfg.wan_streams;
+    if (cfg.combine_bytes >= 0) {
+      t.wan_transport.combine_bytes = static_cast<std::size_t>(cfg.combine_bytes);
+    } else if (cfg.coll == orca::coll::Mode::Tree && t.wan_transport.combine_bytes == 0) {
+      t.wan_transport.combine_bytes = orca::coll::kTreeDefaultCombineBytes;
+    }
     return t;
+  }
+
+  /// Copies the harness-level collective policy into the runtime config.
+  static orca::Runtime::Config with_coll(orca::Runtime::Config rtc, const AppConfig& cfg) {
+    rtc.coll.mode = cfg.coll;
+    return rtc;
   }
 };
 

@@ -98,7 +98,8 @@ sim::Task<T> cluster_allreduce(orca::Runtime& rt, const orca::Proc& p, int tag, 
         net::Message m = co_await rt.recv_data(p, tag);
         acc = op(std::move(acc), net::payload_as<T>(m));
       }
-      // Downward phase: disseminate the result.
+      // Downward phase: disseminate the result (hardware broadcast at
+      // home, collective-layer routing across the WAN).
       auto payload = net::make_payload<T>(acc);
       auto& topo = rt.network().topology();
       if (topo.nodes_per_cluster() > 1) {
@@ -109,13 +110,13 @@ sim::Task<T> cluster_allreduce(orca::Runtime& rt, const orca::Proc& p, int tag, 
         m.payload = payload;
         rt.network().lan_broadcast(p.node, std::move(m));
       }
-      for (net::ClusterId c = 1; c < topo.clusters(); ++c) {
+      {
         net::Message m;
         m.bytes = bytes;
         m.kind = net::MsgKind::Data;
         m.tag = tag + 1;
-        m.payload = payload;
-        rt.network().wan_broadcast(p.node, c, std::move(m));
+        m.payload = std::move(payload);
+        rt.coll().disseminate(p.node, std::move(m));
       }
       co_return acc;
     }

@@ -28,15 +28,15 @@ sim::Task<T> cluster_broadcast(orca::Runtime& rt, const orca::Proc& p, int tag, 
   const auto& topo = rt.network().topology();
   if (p.rank == root) {
     auto payload = net::make_payload<T>(value);
-    // WAN fan-out to the other clusters' leaders...
-    for (net::ClusterId c = 0; c < topo.clusters(); ++c) {
-      if (c == p.cluster()) continue;
+    // WAN fan-out to the other clusters through the collective layer
+    // (flat per-pair copies or a cluster tree, per the runtime policy)...
+    {
       net::Message m;
       m.bytes = bytes;
       m.kind = net::MsgKind::Data;
       m.tag = tag;
       m.payload = payload;
-      rt.network().wan_broadcast(p.node, c, std::move(m));
+      rt.coll().disseminate(p.node, std::move(m));
     }
     // ...and one hardware broadcast at home.
     if (topo.nodes_per_cluster() > 1) {

@@ -185,6 +185,10 @@ class ClusterCombiner {
     m.bytes = bytes;
     m.kind = net::MsgKind::Data;
     m.tag = opt_.tag + 2;
+    // The shipment carries this many application messages — the WAN
+    // logical-traffic accounting reports them alongside the one wire
+    // message.
+    m.combined_members = static_cast<std::uint32_t>(batch.size());
     m.payload = net::make_payload<std::vector<Addressed>>(std::move(batch));
     rt_->network().send(std::move(m));
   }
@@ -201,8 +205,9 @@ class ClusterCombiner {
     std::vector<Item> batch;
     batch.swap(buf);
     const std::size_t bytes = batch.size() * opt_.item_bytes;
+    const auto members = static_cast<std::uint32_t>(batch.size());
     rt_->send_data(p, dst_rank, opt_.tag + 3, bytes,
-                   net::make_payload<std::vector<Item>>(std::move(batch)));
+                   net::make_payload<std::vector<Item>>(std::move(batch)), members);
   }
 
   void distribute(const Addressed& a) {

@@ -1,0 +1,69 @@
+#include "net/coll_tree.hpp"
+
+namespace alb::net {
+
+CollTree build_coll_tree(int clusters, ClusterId root, CollShape shape) {
+  CollTree t;
+  t.root = root;
+  t.shape = shape;
+  t.children.resize(static_cast<std::size_t>(clusters));
+  for (ClusterId c = 0; c < clusters; ++c) {
+    for_each_coll_child(shape, root, clusters, c, [&](ClusterId child) {
+      t.children[static_cast<std::size_t>(c)].push_back(child);
+    });
+  }
+  // Depth by walking parents: relabeled v's parent strips the highest
+  // set bit (binomial) or is the root (star) — but a plain BFS over the
+  // materialized children keeps this independent of the shape math.
+  std::vector<int> depth(static_cast<std::size_t>(clusters), 0);
+  std::vector<ClusterId> frontier{root};
+  while (!frontier.empty()) {
+    std::vector<ClusterId> next;
+    for (ClusterId v : frontier) {
+      for (ClusterId c : t.children[static_cast<std::size_t>(v)]) {
+        depth[static_cast<std::size_t>(c)] = depth[static_cast<std::size_t>(v)] + 1;
+        if (depth[static_cast<std::size_t>(c)] > t.depth) {
+          t.depth = depth[static_cast<std::size_t>(c)];
+        }
+        next.push_back(c);
+      }
+    }
+    frontier.swap(next);
+  }
+  return t;
+}
+
+sim::SimTime coll_tree_completion(const TopologyConfig& cfg, CollShape shape,
+                                  std::size_t bytes) {
+  const int clusters = cfg.clusters;
+  if (clusters <= 1) return 0;
+  const sim::SimTime fwd = cfg.gateway_forward_overhead;
+  const sim::SimTime edge =
+      cfg.wan.serialize_time(bytes + cfg.wan_transport.frame_bytes) + cfg.wan.latency;
+  // Relabeled arrival times (root = label 0). In both shapes a child's
+  // label exceeds its parent's, so ascending label order sees parents
+  // first. Child i (0-based dispatch order) leaves its gateway after
+  // (i + 1) forwarding slots: i earlier dispatches plus its own.
+  std::vector<sim::SimTime> at(static_cast<std::size_t>(clusters), 0);
+  sim::SimTime worst = 0;
+  for (ClusterId v = 0; v < clusters; ++v) {
+    int i = 0;
+    for_each_coll_child(shape, /*root=*/0, clusters, v, [&](ClusterId child) {
+      at[static_cast<std::size_t>(child)] =
+          at[static_cast<std::size_t>(v)] + (i + 1) * fwd + edge;
+      if (at[static_cast<std::size_t>(child)] > worst) {
+        worst = at[static_cast<std::size_t>(child)];
+      }
+      ++i;
+    });
+  }
+  return worst;
+}
+
+CollShape choose_coll_shape(const TopologyConfig& cfg, std::size_t bytes) {
+  const sim::SimTime star = coll_tree_completion(cfg, CollShape::Star, bytes);
+  const sim::SimTime binomial = coll_tree_completion(cfg, CollShape::Binomial, bytes);
+  return binomial < star ? CollShape::Binomial : CollShape::Star;
+}
+
+}  // namespace alb::net

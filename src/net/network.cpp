@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include <cassert>
+#include <cmath>
 
 namespace alb::net {
 
@@ -66,6 +67,29 @@ Network::Network(sim::Engine& eng, const TopologyConfig& cfg, const FaultPlan& f
     delivery_links_.push_back(std::make_unique<Link>(eng, cfg.access, fi, LinkClass::Access, c));
     bcast_links_.push_back(std::make_unique<Link>(eng, cfg.lan_broadcast, fi, LinkClass::Lan, c));
   }
+
+  // Transport-level WAN features: both default off, and when off they
+  // allocate nothing and add one predictable branch per hop — the
+  // default network stays byte-identical to the pre-feature one.
+  const WanTransportConfig& wt = cfg.wan_transport;
+  if (wt.streams > 1) {
+    wan_stream_links_.resize(static_cast<std::size_t>(clusters) * clusters * wt.streams);
+    for (int a = 0; a < clusters; ++a) {
+      for (int b = 0; b < clusters; ++b) {
+        if (a == b) continue;
+        for (int s = 0; s < wt.streams; ++s) {
+          wan_stream_links_[(static_cast<std::size_t>(a) * clusters + b) * wt.streams + s] =
+              std::make_unique<Link>(eng, cfg.wan, fi, LinkClass::Wan, a);
+        }
+      }
+    }
+  }
+  if (wt.combine_bytes > 0) {
+    combine_shards_.resize(static_cast<std::size_t>(clusters));
+    for (CombineShard& shard : combine_shards_) {
+      shard.buffers.resize(static_cast<std::size_t>(clusters) * TrafficStats::kNumKinds * 2);
+    }
+  }
 }
 
 void Network::drop(const Message& m, LinkClass cls, FaultInjector::DropCause cause,
@@ -123,13 +147,23 @@ void Network::schedule_hop_after(sim::SimTime delay, HopPlan plan) {
 void Network::run_hop(HopPlan plan) {
   switch (plan.stage) {
     case HopStage::kGatewayIngress: {
-      stats_here().record_inter(plan.msg.kind, plan.msg.bytes);
+      const bool combine = combinable(plan);
+      if (combine) {
+        // Wire accounting is deferred to the flush (or the bypass) —
+        // only the logical crossing is known here.
+        stats_here().record_inter_logical(plan.msg.kind, plan.msg.bytes,
+                                          plan.msg.combined_members);
+      } else {
+        stats_here().record_inter(plan.msg.kind, plan.msg.bytes + cfg_.wan_transport.frame_bytes,
+                                  plan.msg.bytes, plan.msg.combined_members);
+      }
       if (trace::Recorder* rec = eng_->tracer()) {
         rec->instant(trace::Category::Net, "net.hop.gw_in", topo_.gateway_of(plan.from),
                      plan.msg.id, plan.msg.bytes);
       }
       // Store-and-forward: the gateway spends its per-message forwarding
-      // overhead, then the message queues on the WAN circuit.
+      // overhead, then the message queues on the WAN circuit (possibly
+      // via the combine buffer).
       sim::SimTime overhead = cfg_.gateway_forward_overhead;
       if (faults_) {
         const FaultInjector::GatewayState gs =
@@ -145,12 +179,41 @@ void Network::run_hop(HopPlan plan) {
           faults_->count_brownout_slow();
         }
       }
-      plan.stage = HopStage::kWanTransfer;
+      plan.stage = combine ? HopStage::kCombineEnqueue : HopStage::kWanTransfer;
       schedule_hop_after(overhead, std::move(plan));
       break;
     }
+    case HopStage::kCombineEnqueue: {
+      const WanTransportConfig& wt = cfg_.wan_transport;
+      const int idx = combine_idx(plan.to, plan.msg.kind, plan.msg.droppable);
+      CombineShard& shard = combine_shards_[static_cast<std::size_t>(plan.from)];
+      CombineBuffer& buf = shard.buffers[static_cast<std::size_t>(idx)];
+      if (buf.members.empty() && wan_idle(plan.from, plan.to)) {
+        // Idle bypass: nothing to combine with and the circuit could
+        // start serializing right now — holding for an epoch would only
+        // add latency. The bypass message's own serialization makes the
+        // circuit busy, so a burst behind it combines naturally.
+        stats_here().record_inter_wire(plan.msg.kind, plan.msg.bytes + wt.frame_bytes);
+        plan.stage = HopStage::kWanTransfer;
+        run_hop(std::move(plan));
+        break;
+      }
+      if (trace::Recorder* rec = eng_->tracer()) {
+        rec->instant(trace::Category::Net, "net.combine.hold", topo_.gateway_of(plan.from),
+                     plan.msg.id, plan.msg.bytes);
+      }
+      const ClusterId from = plan.from;
+      const ClusterId to = plan.to;
+      buf.bytes += plan.msg.bytes;
+      buf.members.push_back(std::move(plan));
+      if (buf.bytes >= wt.combine_bytes) {
+        flush_combine(from, idx);
+        break;
+      }
+      if (buf.epoch_due < 0) arm_combine_flush(from, to, idx);
+      break;
+    }
     case HopStage::kWanTransfer: {
-      Link& wan = wan_link(plan.from, plan.to);
       if (faults_) {
         if (const std::optional<sim::SimTime> until =
                 faults_->flapped_until(plan.from, plan.to, eng_->now())) {
@@ -175,18 +238,24 @@ void Network::run_hop(HopPlan plan) {
           // The message got onto the circuit and vanished: the bandwidth
           // is consumed (and the link counters see the attempt), but
           // nothing arrives at the remote gateway.
-          wan.transfer(plan.msg.bytes);
+          std::uint64_t lost_queued = 0;
+          wan_transfer_time(plan.from, plan.to,
+                            plan.msg.bytes + cfg_.wan_transport.frame_bytes, lost_queued);
           drop(plan.msg, LinkClass::Wan, FaultInjector::DropCause::Loss,
                topo_.gateway_of(plan.from), /*close_wan_span=*/true);
           break;
         }
       }
-      const sim::SimTime wait = wan.busy_until() - eng_->now();
-      const std::uint64_t queued = static_cast<std::uint64_t>(wait > 0 ? wait : 0);
+      const std::size_t wire = plan.msg.bytes + cfg_.wan_transport.frame_bytes;
+      std::uint64_t queued = 0;
       if (h_wan_bytes_) {
-        WanHistShard& h = wan_hist_shards_[static_cast<std::size_t>(plan.from)];
-        h.bytes.add(plan.msg.bytes);
-        h.queue.add(queued);
+        // Peeked before the transfer so the histogram sees the wait this
+        // message is about to incur.
+        wan_hist_shards_[static_cast<std::size_t>(plan.from)].bytes.add(wire);
+      }
+      const sim::SimTime at_remote_gw = wan_transfer_time(plan.from, plan.to, wire, queued);
+      if (h_wan_bytes_) {
+        wan_hist_shards_[static_cast<std::size_t>(plan.from)].queue.add(queued);
       }
       if (trace::Recorder* rec = eng_->tracer()) {
         // Queue wait is recorded explicitly so the causal profiler can
@@ -198,7 +267,6 @@ void Network::run_hop(HopPlan plan) {
         rec->instant(trace::Category::Net, "net.hop.wan", topo_.gateway_of(plan.from),
                      plan.msg.id, plan.msg.bytes);
       }
-      const sim::SimTime at_remote_gw = wan.transfer(plan.msg.bytes);
       plan.stage = HopStage::kGatewayEgress;
       // The cross-cluster edge: from here on the message is the remote
       // cluster's business, so the continuation is scheduled in that
@@ -215,6 +283,11 @@ void Network::run_hop(HopPlan plan) {
       break;
     }
     case HopStage::kGatewayEgress: {
+      if (plan.broadcast && plan.coll_shape != kNoCollShape) {
+        // Tree dissemination: before delivering locally, this gateway
+        // forwards fresh copies to its children in the cluster tree.
+        relay_tree_children(plan);
+      }
       if (trace::Recorder* rec = eng_->tracer()) {
         rec->instant(trace::Category::Net, "net.hop.gw_out", topo_.gateway_of(plan.to),
                      plan.msg.id, plan.msg.bytes);
@@ -371,6 +444,283 @@ std::uint64_t Network::wan_broadcast(NodeId src, ClusterId target, Message m) {
   return id;
 }
 
+std::uint64_t Network::tree_broadcast(NodeId src, CollShape shape, Message m) {
+  assert(topo_.is_compute(src));
+  if (topo_.clusters() <= 1) return 0;
+  m.src = src;
+  m.sent_at = eng_->now();
+  const ClusterId mine = topo_.cluster_of(src);
+  trace::Recorder* rec = eng_->tracer();
+  // One copy up the access network regardless of fan-out — the gateway
+  // replicates. (The flat path serializes one access transfer per
+  // remote cluster; this is part of the tree's win.)
+  const sim::SimTime at_gw = access_link(src).transfer(m.bytes);
+  std::uint64_t first_id = 0;
+  int i = 0;
+  for_each_coll_child(shape, mine, topo_.clusters(), mine, [&](ClusterId child) {
+    Message copy = m;
+    copy.id = next_id();
+    copy.dst = topo_.gateway_of(child);
+    if (first_id == 0) first_id = copy.id;
+    if (rec) {
+      rec->begin(trace::Category::Net, "net.wan", src, copy.id, copy.bytes,
+                 trace::Recorder::clamp_tag(copy.tag));
+    }
+    // The gateway's forwarding engine dispatches its copies serially:
+    // child i enters ingress i forwarding slots after the payload
+    // reaches the gateway (ingress then charges its own slot).
+    schedule_hop_at(at_gw + static_cast<sim::SimTime>(i) * cfg_.gateway_forward_overhead,
+                    HopPlan{std::move(copy), mine, child, HopStage::kGatewayIngress,
+                            /*broadcast=*/true, static_cast<std::uint8_t>(shape), mine});
+    ++i;
+  });
+  return first_id;
+}
+
+void Network::relay_tree_children(const HopPlan& plan) {
+  // Runs in plan.to's engine context (the leg was scheduled there), so
+  // next_id() and the traffic shards are the relaying cluster's own.
+  const CollShape shape = static_cast<CollShape>(plan.coll_shape);
+  const NodeId gw = topo_.gateway_of(plan.to);
+  trace::Recorder* rec = eng_->tracer();
+  int i = 0;
+  for_each_coll_child(shape, plan.coll_root, topo_.clusters(), plan.to, [&](ClusterId child) {
+    Message copy = plan.msg;
+    copy.id = next_id();
+    copy.src = gw;
+    copy.dst = topo_.gateway_of(child);
+    copy.sent_at = eng_->now();
+    if (rec) {
+      // Each relay leg is a fresh wide-area journey for the profiler.
+      rec->begin(trace::Category::Net, "net.wan", gw, copy.id, copy.bytes,
+                 trace::Recorder::clamp_tag(copy.tag));
+    }
+    schedule_hop_after(static_cast<sim::SimTime>(i) * cfg_.gateway_forward_overhead,
+                       HopPlan{std::move(copy), plan.to, child, HopStage::kGatewayIngress,
+                               /*broadcast=*/true, plan.coll_shape, plan.coll_root});
+    ++i;
+  });
+}
+
+sim::SimTime Network::wan_free_at(ClusterId from, ClusterId to) {
+  const WanTransportConfig& wt = cfg_.wan_transport;
+  const sim::SimTime now = eng_->now();
+  sim::SimTime free_at;
+  if (wt.streams <= 1) {
+    free_at = wan_link(from, to).busy_until();
+  } else {
+    const std::size_t base = (static_cast<std::size_t>(from) * topo_.clusters() + to) *
+                             static_cast<std::size_t>(wt.streams);
+    free_at = wan_stream_links_[base]->busy_until();
+    for (int s = 1; s < wt.streams; ++s) {
+      const sim::SimTime t = wan_stream_links_[base + static_cast<std::size_t>(s)]->busy_until();
+      if (t < free_at) free_at = t;
+    }
+  }
+  return free_at > now ? free_at : now;
+}
+
+void Network::arm_combine_flush(ClusterId from, ClusterId to, int idx) {
+  const WanTransportConfig& wt = cfg_.wan_transport;
+  CombineBuffer& buf =
+      combine_shards_[static_cast<std::size_t>(from)].buffers[static_cast<std::size_t>(idx)];
+  // Epoch boundaries are absolute multiples of combine_epoch, so the
+  // backstop flush times (and therefore the whole schedule) are
+  // independent of which message arrived first within the window.
+  const sim::SimTime boundary = (eng_->now() / wt.combine_epoch + 1) * wt.combine_epoch;
+  const sim::SimTime free_at = wan_free_at(from, to);
+  const sim::SimTime due = free_at < boundary ? free_at : boundary;
+  buf.epoch_due = due;
+  auto ev = [this, from, to, idx, due] {
+    CombineBuffer& b =
+        combine_shards_[static_cast<std::size_t>(from)].buffers[static_cast<std::size_t>(idx)];
+    if (b.epoch_due != due || b.members.empty()) return;
+    // A boundary flush fires even on a busy circuit (the batch takes
+    // its queue slot ahead of later wire traffic); a circuit-free
+    // flush re-arms if other traffic claimed the circuit first.
+    const bool backstop = due % cfg_.wan_transport.combine_epoch == 0;
+    if (!backstop && !wan_idle(from, to)) {
+      b.epoch_due = -1;
+      arm_combine_flush(from, to, idx);
+      return;
+    }
+    flush_combine(from, idx);
+  };
+  static_assert(sim::UniqueFunction::stores_inline<decltype(ev)>,
+                "the combine-flush event must fit the event queue's inline storage");
+  eng_->schedule_at(due, std::move(ev));
+}
+
+bool Network::wan_idle(ClusterId from, ClusterId to) {
+  const WanTransportConfig& wt = cfg_.wan_transport;
+  const sim::SimTime now = eng_->now();
+  if (wt.streams <= 1) return wan_link(from, to).busy_until() <= now;
+  const std::size_t base = (static_cast<std::size_t>(from) * topo_.clusters() + to) *
+                           static_cast<std::size_t>(wt.streams);
+  for (int s = 0; s < wt.streams; ++s) {
+    if (wan_stream_links_[base + static_cast<std::size_t>(s)]->busy_until() <= now) return true;
+  }
+  return false;
+}
+
+sim::SimTime Network::wan_transfer_time(ClusterId from, ClusterId to, std::size_t wire_bytes,
+                                        std::uint64_t& queued_out) {
+  const WanTransportConfig& wt = cfg_.wan_transport;
+  if (wt.streams <= 1) {
+    Link& wan = wan_link(from, to);
+    const sim::SimTime wait = wan.busy_until() - eng_->now();
+    queued_out = static_cast<std::uint64_t>(wait > 0 ? wait : 0);
+    return wan.transfer(wire_bytes);
+  }
+  const std::size_t base = (static_cast<std::size_t>(from) * topo_.clusters() + to) *
+                           static_cast<std::size_t>(wt.streams);
+  const sim::SimTime now = eng_->now();
+  sim::SimTime arrival = 0;
+  std::size_t remaining = wire_bytes;
+  bool first = true;
+  do {
+    // Stripe each chunk onto the least-busy sub-stream; ties go to the
+    // lowest index so the assignment is deterministic.
+    std::size_t best = base;
+    for (int s = 1; s < wt.streams; ++s) {
+      const std::size_t cand = base + static_cast<std::size_t>(s);
+      if (wan_stream_links_[cand]->busy_until() < wan_stream_links_[best]->busy_until()) {
+        best = cand;
+      }
+    }
+    Link& link = *wan_stream_links_[best];
+    if (first) {
+      const sim::SimTime wait = link.busy_until() - now;
+      queued_out = static_cast<std::uint64_t>(wait > 0 ? wait : 0);
+      first = false;
+    }
+    const std::size_t chunk =
+        remaining < wt.stream_chunk_bytes ? remaining : wt.stream_chunk_bytes;
+    const sim::SimTime t = link.transfer(chunk);
+    if (t > arrival) arrival = t;
+    remaining -= chunk;
+  } while (remaining > 0);
+  return arrival;
+}
+
+void Network::flush_combine(ClusterId from, int idx) {
+  CombineBuffer& buf =
+      combine_shards_[static_cast<std::size_t>(from)].buffers[static_cast<std::size_t>(idx)];
+  if (buf.members.empty()) return;
+  const ClusterId to = static_cast<ClusterId>(idx / (2 * TrafficStats::kNumKinds));
+  const MsgKind kind = static_cast<MsgKind>((idx / 2) % TrafficStats::kNumKinds);
+  const bool droppable = (idx & 1) != 0;
+  trace::Recorder* rec = eng_->tracer();
+
+  if (faults_) {
+    if (const std::optional<sim::SimTime> until =
+            faults_->flapped_until(from, to, eng_->now())) {
+      if (droppable) {
+        // A flapped circuit swallows the whole datagram-class batch.
+        for (const HopPlan& m : buf.members) {
+          drop(m.msg, LinkClass::Wan, FaultInjector::DropCause::Flap, topo_.gateway_of(from),
+               /*close_wan_span=*/true);
+        }
+        buf.members.clear();
+        buf.bytes = 0;
+        buf.epoch_due = -1;
+        return;
+      }
+      // Stream-class batch: hold at the gateway until the window closes.
+      // New arrivals keep joining the held batch.
+      faults_->count_flap_hold(*until - eng_->now());
+      if (rec) {
+        for (const HopPlan& m : buf.members) {
+          rec->instant(trace::Category::Net, "net.fault.flap_hold", topo_.gateway_of(from),
+                       m.msg.id, m.msg.bytes);
+        }
+      }
+      const sim::SimTime due = *until;
+      buf.epoch_due = due;
+      auto ev = [this, from, idx, due] {
+        CombineBuffer& b =
+            combine_shards_[static_cast<std::size_t>(from)].buffers[static_cast<std::size_t>(idx)];
+        if (b.epoch_due == due && !b.members.empty()) flush_combine(from, idx);
+      };
+      static_assert(sim::UniqueFunction::stores_inline<decltype(ev)>,
+                    "the flap-retry event must fit the event queue's inline storage");
+      eng_->schedule_at(due, std::move(ev));
+      return;
+    }
+    if (droppable && faults_->lose(LinkClass::Wan, from)) {
+      // The combined wire message vanished on the circuit: bandwidth
+      // consumed, every member lost.
+      std::uint64_t lost_queued = 0;
+      wan_transfer_time(from, to, cfg_.wan_transport.frame_bytes + buf.bytes, lost_queued);
+      for (const HopPlan& m : buf.members) {
+        drop(m.msg, LinkClass::Wan, FaultInjector::DropCause::Loss, topo_.gateway_of(from),
+             /*close_wan_span=*/true);
+      }
+      buf.members.clear();
+      buf.bytes = 0;
+      buf.epoch_due = -1;
+      return;
+    }
+  }
+
+  std::vector<HopPlan> batch;
+  batch.swap(buf.members);
+  const std::size_t logical_bytes = buf.bytes;
+  buf.bytes = 0;
+  buf.epoch_due = -1;
+
+  const std::size_t wire = cfg_.wan_transport.frame_bytes + logical_bytes;
+  std::uint64_t logical_msgs = 0;
+  for (const HopPlan& m : batch) logical_msgs += m.msg.combined_members;
+  stats_here().record_inter_wire(kind, wire);
+  stats_here().record_combined_flush(logical_msgs, wire, logical_bytes);
+
+  std::uint64_t queued = 0;
+  if (h_wan_bytes_) {
+    wan_hist_shards_[static_cast<std::size_t>(from)].bytes.add(wire);
+  }
+  const sim::SimTime arrival = wan_transfer_time(from, to, wire, queued);
+  if (h_wan_bytes_) {
+    wan_hist_shards_[static_cast<std::size_t>(from)].queue.add(queued);
+  }
+  // Members of a single-stream train are delivered as their bytes
+  // finish crossing, not held for the train's tail: the wire carries
+  // the batch back to back, so member i's last byte lands
+  // (logical_bytes - prefix_i) / bandwidth ahead of the train's
+  // arrival. That keeps every held message's delivery no later than
+  // flat per-message queueing would have managed — which is what makes
+  // combining safe even for blocking RPC traffic. Striped multi-stream
+  // trains interleave chunks across sub-circuits, so the prefix model
+  // has no meaning there; their members deliver at the train's tail.
+  const bool pipelined = cfg_.wan_transport.streams <= 1;
+  std::size_t prefix = 0;
+  for (HopPlan& m : batch) {
+    if (rec) {
+      if (queued > 0) {
+        rec->instant(trace::Category::Net, "net.wan.queue", topo_.gateway_of(from), m.msg.id,
+                     queued);
+      }
+      rec->instant(trace::Category::Net, "net.hop.wan", topo_.gateway_of(from), m.msg.id,
+                   m.msg.bytes);
+    }
+    prefix += m.msg.bytes;
+    sim::SimTime at = arrival;
+    if (pipelined && prefix < logical_bytes) {
+      // Ceil: truncating the tail would push a member a nanosecond
+      // past where flat queueing would have delivered it.
+      const double tail_ns = static_cast<double>(logical_bytes - prefix) /
+                             cfg_.wan.bandwidth_bytes_per_sec * 1e9;
+      at = arrival - static_cast<sim::SimTime>(std::ceil(tail_ns));
+    }
+    m.stage = HopStage::kGatewayEgress;
+    const sim::OwnerId dest = to;
+    auto ev = [this, plan = std::move(m)]() mutable { run_hop(std::move(plan)); };
+    static_assert(sim::UniqueFunction::stores_inline<decltype(ev)>,
+                  "a hop event must fit the event queue's inline storage");
+    eng_->schedule_on(dest, at, std::move(ev));
+  }
+}
+
 namespace {
 
 /// Sums one accessor across a set of links.
@@ -419,12 +769,41 @@ void Network::publish_metrics(trace::Metrics& m) const {
   *m.counter("net/link.access.busy_ns") =
       sum_links(access_links_, [](const Link& l) { return l.busy_time(); }) +
       sum_links(delivery_links_, [](const Link& l) { return l.busy_time(); });
-  *m.counter("net/link.wan.msgs") = sum_links(wan_links_, [](const Link& l) { return l.messages(); });
-  *m.counter("net/link.wan.bytes") = sum_links(wan_links_, [](const Link& l) { return l.bytes(); });
+  *m.counter("net/link.wan.msgs") =
+      sum_links(wan_links_, [](const Link& l) { return l.messages(); }) +
+      sum_links(wan_stream_links_, [](const Link& l) { return l.messages(); });
+  *m.counter("net/link.wan.bytes") =
+      sum_links(wan_links_, [](const Link& l) { return l.bytes(); }) +
+      sum_links(wan_stream_links_, [](const Link& l) { return l.bytes(); });
   *m.counter("net/link.wan.busy_ns") =
-      sum_links(wan_links_, [](const Link& l) { return l.busy_time(); });
+      sum_links(wan_links_, [](const Link& l) { return l.busy_time(); }) +
+      sum_links(wan_stream_links_, [](const Link& l) { return l.busy_time(); });
   *m.counter("net/link.wan.queue_ns") =
-      sum_links(wan_links_, [](const Link& l) { return l.queueing_time(); });
+      sum_links(wan_links_, [](const Link& l) { return l.queueing_time(); }) +
+      sum_links(wan_stream_links_, [](const Link& l) { return l.queueing_time(); });
+
+  // Logical-vs-wire split and the combining report. Published only when
+  // they carry information (combining or framing actually diverged the
+  // two views) so default runs keep their historical counter set.
+  bool has_logical = merged.combined().flushes > 0;
+  for (int k = 0; k < TrafficStats::kNumKinds && !has_logical; ++k) {
+    const KindCounters& c = merged.kind(static_cast<MsgKind>(k));
+    has_logical = c.inter_logical_msgs != c.inter_msgs || c.inter_logical_bytes != c.inter_bytes;
+  }
+  if (has_logical) {
+    for (int k = 0; k < TrafficStats::kNumKinds; ++k) {
+      const MsgKind kind = static_cast<MsgKind>(k);
+      const KindCounters& c = merged.kind(kind);
+      const std::string base = to_string(kind);
+      *m.counter("net/wan." + base + ".logical_msgs") = c.inter_logical_msgs;
+      *m.counter("net/wan." + base + ".logical_bytes") = c.inter_logical_bytes;
+    }
+    const CombinedCounters& cc = merged.combined();
+    *m.counter("net/wan.combined.flushes") = cc.flushes;
+    *m.counter("net/wan.combined.members") = cc.members;
+    *m.counter("net/wan.combined.wire_bytes") = cc.wire_bytes;
+    *m.counter("net/wan.combined.logical_bytes") = cc.logical_bytes;
+  }
 
   // Merge the per-cluster WAN histogram shards into the registry
   // instruments (post-run, single-threaded).

@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/coll_tree.hpp"
 #include "net/endpoint.hpp"
 #include "net/fault.hpp"
 #include "net/link.hpp"
@@ -73,6 +74,16 @@ class Network {
   /// layer). `target` must differ from src's cluster.
   std::uint64_t wan_broadcast(NodeId src, ClusterId target, Message m);
 
+  /// Tree-shaped wide-area dissemination: ships `m` once to the local
+  /// gateway, which forwards copies to its children in the cluster tree
+  /// rooted at src's cluster (see net/coll_tree.hpp); intermediate
+  /// gateways relay to theirs. Every remote cluster re-broadcasts
+  /// locally, every cluster pair on the tree is crossed exactly once,
+  /// and each gateway serializes its forwards at the forwarding
+  /// overhead. Returns the id of the first forwarded copy (0 with a
+  /// single cluster).
+  std::uint64_t tree_broadcast(NodeId src, CollShape shape, Message m);
+
   /// Whole-run traffic accounting: merges the per-cluster shards into a
   /// stable cached view. Do not call while a partitioned run is in
   /// flight (tests and the harness read it post-run).
@@ -99,6 +110,7 @@ class Network {
   /// that always fits the event queue's inline storage.
   enum class HopStage : std::uint8_t {
     kGatewayIngress,   // at the local gateway: account + forwarding overhead
+    kCombineEnqueue,   // join (or bypass) the gateway combine buffer
     kWanTransfer,      // queue on the WAN circuit to the remote gateway
     kGatewayEgress,    // at the remote gateway: forwarding overhead
     kClusterDelivery,  // final FE delivery (or local re-broadcast)
@@ -109,6 +121,12 @@ class Network {
     ClusterId to;
     HopStage stage;
     bool broadcast;
+    /// Tree dissemination: the shape + root cluster this leg belongs to
+    /// (the egress gateway relays to its children). kNoCollShape for
+    /// everything else. Packed into HopPlan's tail padding — the plan
+    /// must keep fitting the event queue's inline storage.
+    std::uint8_t coll_shape = kNoCollShape;
+    ClusterId coll_root = 0;
   };
 
   /// The cluster whose engine context is executing (0 during setup —
@@ -131,6 +149,54 @@ class Network {
   void schedule_hop_at(sim::SimTime t, HopPlan plan);
   void schedule_hop_after(sim::SimTime delay, HopPlan plan);
   void deliver_at(sim::SimTime t, Message m);
+  /// At the egress gateway of a tree-dissemination leg: forward fresh
+  /// copies to this cluster's children in the tree (no-op for leaves).
+  void relay_tree_children(const HopPlan& plan);
+
+  // --- gateway message combining (wan_transport.combine_bytes > 0) ---
+  bool combining_on() const { return !combine_shards_.empty(); }
+  /// A message eligible for the combine buffer: every kind, including
+  /// blocking request/reply traffic. That is safe because a message is
+  /// only ever held when the circuit is busy, and the circuit-free
+  /// flush ships the batch the moment the wire could have accepted its
+  /// first member — a hold never outlasts the backlog the message would
+  /// have queued behind anyway, so even a stalled RPC requester waits
+  /// no longer than flat wire queueing would have cost it.
+  bool combinable(const HopPlan& plan) const {
+    (void)plan;
+    return combining_on();
+  }
+  /// Buffer index inside a source-cluster shard: one buffer per
+  /// (destination cluster, message kind, fault service class) so a
+  /// flush is homogeneous for accounting and fault handling.
+  int combine_idx(ClusterId to, MsgKind kind, bool droppable) const {
+    return (to * TrafficStats::kNumKinds + static_cast<int>(kind)) * 2 + (droppable ? 1 : 0);
+  }
+  /// Ships buffer `idx` of cluster `from` as one wire message (no-op on
+  /// an empty buffer). Runs in `from`'s context.
+  void flush_combine(ClusterId from, int idx);
+  /// Arms the pending flush for buffer `idx`: at the moment the circuit
+  /// frees (re-armed if other traffic claimed it first), or at the next
+  /// absolute epoch boundary, whichever comes first. The boundary flush
+  /// fires even on a busy circuit — it is the backstop bounding how
+  /// long a batch can keep growing under sustained load.
+  void arm_combine_flush(ClusterId from, ClusterId to, int idx);
+
+  /// True when the (from, to) circuit could start serializing now — the
+  /// combine idle-bypass test (an uncontended message never waits for
+  /// an epoch).
+  bool wan_idle(ClusterId from, ClusterId to);
+  /// Earliest time the (from, to) circuit can accept a new transfer
+  /// (now, if it is already idle).
+  sim::SimTime wan_free_at(ClusterId from, ClusterId to);
+  /// Charges `wire_bytes` to the (from, to) circuit and returns the
+  /// arrival time at the remote gateway; `queued_out` gets the queueing
+  /// delay in ns. With wan_transport.streams > 1 the payload is split
+  /// into stream_chunk_bytes pieces striped across the least-busy
+  /// sub-streams (each chunk paying the per-message pacing overhead)
+  /// and the arrival is the last chunk's.
+  sim::SimTime wan_transfer_time(ClusterId from, ClusterId to, std::size_t wire_bytes,
+                                 std::uint64_t& queued_out);
   /// Discards a message: accounts the drop on the injector, emits the
   /// "net.fault.drop" instant, and closes the message's open "net.wan"
   /// span when it was on the intercluster path.
@@ -163,6 +229,22 @@ class Network {
   std::vector<std::unique_ptr<Link>> wan_links_;       // C*C matrix (diagonal unused)
   std::vector<std::unique_ptr<Link>> delivery_links_;  // per gateway: FE egress into cluster
   std::vector<std::unique_ptr<Link>> bcast_links_;     // per cluster: Myrinet broadcast
+  /// Sub-streams per circuit, C*C*S (built only when streams > 1; the
+  /// plain wan_links_ then stay unused but in place for inspection).
+  std::vector<std::unique_ptr<Link>> wan_stream_links_;
+
+  /// One combine buffer per (destination, kind, service class), sharded
+  /// by source cluster — all enqueue/flush activity for a shard runs in
+  /// that cluster's engine context, so partitioned runs never share it.
+  struct CombineBuffer {
+    std::vector<HopPlan> members;  // arrival order
+    std::size_t bytes = 0;         // sum of member payload bytes
+    sim::SimTime epoch_due = -1;   // pending epoch-flush time, -1 = none
+  };
+  struct alignas(64) CombineShard {
+    std::vector<CombineBuffer> buffers;
+  };
+  std::vector<CombineShard> combine_shards_;  // per source cluster; empty = off
 };
 
 }  // namespace alb::net

@@ -61,6 +61,50 @@ struct LinkParams {
   }
 };
 
+/// Transport-level features of the WAN circuits. Every default is a
+/// strict no-op: a config that never touches this struct produces a
+/// byte-identical simulation to the pre-feature network.
+struct WanTransportConfig {
+  /// Parallel paced sub-streams per circuit (MPWide-style). The
+  /// configured wan bandwidth is the *per-stream* achievable rate — a
+  /// single wide-area stream cannot fill the path, and aggregate
+  /// throughput scales with the stream count until the physical medium
+  /// saturates — so payloads split into chunks striped across the
+  /// least-busy streams, each chunk paying the per-message pacing
+  /// overhead. 1 = the historical single-queue circuit.
+  int streams = 1;
+  /// Payload split granularity across sub-streams.
+  std::size_t stream_chunk_bytes = 64 * 1024;
+  /// > 0 arms gateway message combining: a non-Control message arriving
+  /// at its source gateway while the circuit is busy (or other traffic
+  /// is already held) is buffered per (destination cluster, kind,
+  /// service class) and flushed as one wire message when the buffered
+  /// bytes reach this threshold or at the next combine_epoch boundary.
+  /// 0 disables combining entirely.
+  std::size_t combine_bytes = 0;
+  /// Epoch-boundary flush period for sub-threshold combine buffers
+  /// (bounds the latency a held message can accrue).
+  sim::SimTime combine_epoch = sim::microseconds(200);
+  /// Per-wire-message WAN framing bytes (headers the circuit charges in
+  /// addition to payload). Combining amortizes this across the batch.
+  std::size_t frame_bytes = 0;
+
+  void validate() const {
+    if (streams < 1 || streams > 1024) {
+      throw ConfigError("wan transport: streams must be in [1, 1024] (got " +
+                        std::to_string(streams) + ")");
+    }
+    if (stream_chunk_bytes == 0) {
+      throw ConfigError("wan transport: stream_chunk_bytes must be positive");
+    }
+    if (combine_bytes > 0 && combine_epoch <= 0) {
+      throw ConfigError(
+          "wan transport: combine_epoch must be positive when combining is armed (got " +
+          std::to_string(combine_epoch) + " ns) — a sub-threshold buffer would never flush");
+    }
+  }
+};
+
 struct TopologyConfig {
   int clusters = 1;
   int nodes_per_cluster = 1;
@@ -79,6 +123,10 @@ struct TopologyConfig {
   /// sender, delivery to all cluster members after this latency.
   LinkParams lan_broadcast;
 
+  /// Transport-level WAN features (parallel sub-streams, gateway
+  /// message combining, framing). Defaults are a strict no-op.
+  WanTransportConfig wan_transport;
+
   /// Throws ConfigError on any out-of-range parameter. Called once by
   /// the Topology constructor; tools call it directly to reject bad
   /// command lines before building a network.
@@ -94,6 +142,7 @@ struct TopologyConfig {
     access.validate("access link");
     wan.validate("wan link");
     lan_broadcast.validate("lan broadcast link");
+    wan_transport.validate();
     if (gateway_forward_overhead < 0) {
       throw ConfigError("topology: gateway_forward_overhead must be non-negative (got " +
                         std::to_string(gateway_forward_overhead) + " ns)");

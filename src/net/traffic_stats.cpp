@@ -16,6 +16,13 @@ void TrafficStats::print(std::ostream& os) const {
     os << c.intra_msgs << "  " << c.intra_bytes << "  " << c.inter_msgs << "  " << c.inter_bytes
        << '\n';
   }
+  // Gateway combining report — only when it actually happened, so runs
+  // without the feature keep the historical byte-exact table.
+  if (combined_.flushes > 0) {
+    os << "wan-combined  flushes " << combined_.flushes << "  members " << combined_.members
+       << "  wire-bytes " << combined_.wire_bytes << "  logical-bytes "
+       << combined_.logical_bytes << '\n';
+  }
 }
 
 }  // namespace alb::net

@@ -20,8 +20,23 @@ namespace alb::net {
 struct KindCounters {
   std::uint64_t intra_msgs = 0;
   std::uint64_t intra_bytes = 0;
+  /// Wire view: messages/bytes as the WAN circuits saw them (combined
+  /// flushes count once, framing included).
   std::uint64_t inter_msgs = 0;
   std::uint64_t inter_bytes = 0;
+  /// Logical view: application payloads that crossed (each member of a
+  /// combined flush counts, framing excluded). Equal to the wire view
+  /// when neither combining nor framing is configured.
+  std::uint64_t inter_logical_msgs = 0;
+  std::uint64_t inter_logical_bytes = 0;
+};
+
+/// Gateway (transport-level) combining totals.
+struct CombinedCounters {
+  std::uint64_t flushes = 0;        // combined wire messages shipped
+  std::uint64_t members = 0;        // logical messages packed into them
+  std::uint64_t wire_bytes = 0;     // bytes the circuits carried for them
+  std::uint64_t logical_bytes = 0;  // payload bytes inside them
 };
 
 class TrafficStats {
@@ -33,12 +48,42 @@ class TrafficStats {
     ++c.intra_msgs;
     c.intra_bytes += bytes;
   }
-  /// One WAN-circuit crossing.
-  void record_inter(MsgKind kind, std::size_t bytes) {
+  /// One WAN-circuit crossing: `wire_bytes` is what the circuit
+  /// carries, `logical_msgs`/`logical_bytes` what the application sent
+  /// (identical unless framing is configured or the message is an
+  /// application-level combination).
+  void record_inter(MsgKind kind, std::size_t wire_bytes, std::size_t logical_bytes,
+                    std::uint64_t logical_msgs) {
     auto& c = counters_[index(kind)];
     ++c.inter_msgs;
-    c.inter_bytes += bytes;
+    c.inter_bytes += wire_bytes;
+    c.inter_logical_msgs += logical_msgs;
+    c.inter_logical_bytes += logical_bytes;
   }
+  void record_inter(MsgKind kind, std::size_t bytes) { record_inter(kind, bytes, bytes, 1); }
+  /// A message entering a gateway combine buffer: logical traffic now,
+  /// wire traffic when its batch flushes (record_inter_wire).
+  void record_inter_logical(MsgKind kind, std::size_t logical_bytes,
+                            std::uint64_t logical_msgs) {
+    auto& c = counters_[index(kind)];
+    c.inter_logical_msgs += logical_msgs;
+    c.inter_logical_bytes += logical_bytes;
+  }
+  /// The combined wire message a flush puts on the circuit.
+  void record_inter_wire(MsgKind kind, std::size_t wire_bytes) {
+    auto& c = counters_[index(kind)];
+    ++c.inter_msgs;
+    c.inter_bytes += wire_bytes;
+  }
+  void record_combined_flush(std::uint64_t members, std::uint64_t wire_bytes,
+                             std::uint64_t logical_bytes) {
+    ++combined_.flushes;
+    combined_.members += members;
+    combined_.wire_bytes += wire_bytes;
+    combined_.logical_bytes += logical_bytes;
+  }
+
+  const CombinedCounters& combined() const { return combined_; }
 
   const KindCounters& kind(MsgKind k) const { return counters_[index(k)]; }
 
@@ -81,7 +126,10 @@ class TrafficStats {
     return n;
   }
 
-  void reset() { counters_ = {}; }
+  void reset() {
+    counters_ = {};
+    combined_ = {};
+  }
 
   /// Accumulates another shard into this one (partitioned runs keep one
   /// TrafficStats per cluster context and merge post-run).
@@ -91,7 +139,13 @@ class TrafficStats {
       counters_[k].intra_bytes += other.counters_[k].intra_bytes;
       counters_[k].inter_msgs += other.counters_[k].inter_msgs;
       counters_[k].inter_bytes += other.counters_[k].inter_bytes;
+      counters_[k].inter_logical_msgs += other.counters_[k].inter_logical_msgs;
+      counters_[k].inter_logical_bytes += other.counters_[k].inter_logical_bytes;
     }
+    combined_.flushes += other.combined_.flushes;
+    combined_.members += other.combined_.members;
+    combined_.wire_bytes += other.combined_.wire_bytes;
+    combined_.logical_bytes += other.combined_.logical_bytes;
   }
 
   void print(std::ostream& os) const;
@@ -99,6 +153,7 @@ class TrafficStats {
  private:
   static int index(MsgKind k) { return static_cast<int>(k); }
   std::array<KindCounters, kNumKinds> counters_{};
+  CombinedCounters combined_{};
 };
 
 }  // namespace alb::net

@@ -12,8 +12,9 @@ namespace {
 constexpr std::uint64_t kUnordered = ~std::uint64_t{0};
 }  // namespace
 
-BroadcastEngine::BroadcastEngine(net::Network& net, Sequencer& seq, ApplyFn apply_op)
-    : net_(&net), seq_(&seq), apply_op_(std::move(apply_op)) {
+BroadcastEngine::BroadcastEngine(net::Network& net, Sequencer& seq, coll::Engine& coll,
+                                 ApplyFn apply_op)
+    : net_(&net), seq_(&seq), coll_(&coll), apply_op_(std::move(apply_op)) {
   const int compute = net.topology().num_compute();
   next_to_apply_.assign(static_cast<std::size_t>(compute), 0);
   reorder_.resize(static_cast<std::size_t>(compute));
@@ -42,16 +43,12 @@ void BroadcastEngine::disseminate(net::NodeId node, std::size_t bytes, int tag,
     m.payload = payload;
     net_->lan_broadcast(node, std::move(m));
   }
-  const net::ClusterId mine = topo.cluster_of(node);
-  for (net::ClusterId c = 0; c < topo.clusters(); ++c) {
-    if (c == mine) continue;
-    net::Message m;
-    m.bytes = bytes;
-    m.kind = net::MsgKind::Bcast;
-    m.tag = tag;
-    m.payload = payload;
-    net_->wan_broadcast(node, c, std::move(m));
-  }
+  net::Message m;
+  m.bytes = bytes;
+  m.kind = net::MsgKind::Bcast;
+  m.tag = tag;
+  m.payload = std::move(payload);
+  coll_->disseminate(node, std::move(m));
 }
 
 sim::Task<void> BroadcastEngine::broadcast(net::NodeId node, std::size_t bytes, BcastOp op) {

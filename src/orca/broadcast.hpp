@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "orca/collective.hpp"
 #include "orca/sequencer.hpp"
 #include "sim/future.hpp"
 #include "sim/task.hpp"
@@ -39,7 +40,9 @@ class BroadcastEngine {
   /// the Runtime points it at the replicated-object registry.
   using ApplyFn = std::function<void(net::NodeId node, const BcastOp& op)>;
 
-  BroadcastEngine(net::Network& net, Sequencer& seq, ApplyFn apply_op);
+  /// `coll` decides how the wide-area half of each dissemination is
+  /// routed (flat per-pair copies or a cluster tree).
+  BroadcastEngine(net::Network& net, Sequencer& seq, coll::Engine& coll, ApplyFn apply_op);
 
   /// Ordered broadcast from `node`. Completes when the operation has
   /// been applied to node's own replica (which requires every earlier
@@ -82,6 +85,7 @@ class BroadcastEngine {
 
   net::Network* net_;
   Sequencer* seq_;
+  coll::Engine* coll_;
   ApplyFn apply_op_;
 
   // Per compute node: next sequence number to apply and the buffer of

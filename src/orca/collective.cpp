@@ -1,0 +1,33 @@
+#include "orca/collective.hpp"
+
+namespace alb::orca::coll {
+
+std::uint64_t Engine::disseminate(net::NodeId node, net::Message m) {
+  const auto& topo = net_->topology();
+  if (topo.clusters() <= 1) return 0;
+  if (cfg_.mode == Mode::Tree) {
+    // The flat loop is itself a dissemination tree — a star rooted at
+    // the *source node*, whose per-copy dispatch cost is one access
+    // serialization. Replicating at the gateway instead trades that for
+    // one forwarding slot per copy, so it only wins once the payload's
+    // access serialization exceeds the forwarding overhead; below that
+    // the historical loop is the faster tree and we keep it.
+    const net::TopologyConfig& tc = net_->config();
+    if (tc.access.serialize_time(m.bytes) > tc.gateway_forward_overhead) {
+      return net_->tree_broadcast(node, shape_for(m.bytes), std::move(m));
+    }
+  }
+  // Flat: one independent wide-area copy per remote cluster, in cluster
+  // order — byte-identical to the historical inlined loops.
+  const net::ClusterId mine = topo.cluster_of(node);
+  std::uint64_t first_id = 0;
+  for (net::ClusterId c = 0; c < topo.clusters(); ++c) {
+    if (c == mine) continue;
+    net::Message copy = m;
+    const std::uint64_t id = net_->wan_broadcast(node, c, std::move(copy));
+    if (first_id == 0) first_id = id;
+  }
+  return first_id;
+}
+
+}  // namespace alb::orca::coll

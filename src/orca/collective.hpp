@@ -1,0 +1,68 @@
+#pragma once
+// The wide-area collective layer.
+//
+// Orca's dissemination sites (the totally-ordered broadcast engine, the
+// cluster-aware reduce/allreduce helpers in src/core/) historically sent
+// one flat copy per remote cluster over the per-pair WAN circuits. This
+// layer centralizes that decision behind a policy object: Flat keeps the
+// historical byte-identical behavior; Tree routes the wide-area half
+// over a dissemination tree of clusters (net/coll_tree.hpp) whose shape
+// is chosen from the topology's link parameters per payload size, so
+// every cluster pair on the tree is crossed exactly once and the
+// sender's gateway no longer serializes C-1 copies.
+//
+// The layer is deliberately stateless (mode + a pointer to the network):
+// call sites pass the source node and a prototype message, and the same
+// inputs produce the same wire schedule on every partition/thread count.
+
+#include <cstdint>
+
+#include "net/coll_tree.hpp"
+#include "net/message.hpp"
+#include "net/network.hpp"
+
+namespace alb::orca::coll {
+
+enum class Mode : std::uint8_t { Flat = 0, Tree = 1 };
+
+constexpr const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::Flat: return "flat";
+    case Mode::Tree: return "tree";
+  }
+  return "?";
+}
+
+/// Gateway combine threshold the harness arms by default when the tree
+/// collectives are selected and the config does not set its own (the
+/// paper's RA hand-optimization, promoted to a transport feature).
+inline constexpr std::size_t kTreeDefaultCombineBytes = 4096;
+
+struct Config {
+  Mode mode = Mode::Flat;
+};
+
+class Engine {
+ public:
+  Engine(net::Network& net, Config cfg) : net_(&net), cfg_(cfg) {}
+
+  Mode mode() const { return cfg_.mode; }
+
+  /// The tree shape Tree mode uses for a payload of `bytes` (picked
+  /// once per dissemination from the topology's link parameters).
+  net::CollShape shape_for(std::size_t bytes) const {
+    return net::choose_coll_shape(net_->config(), bytes);
+  }
+
+  /// Ships `m` to every *remote* cluster and re-broadcasts it there.
+  /// The intracluster half (hardware broadcast in the sender's own
+  /// cluster) stays with the caller — it is shape-independent. Returns
+  /// the id of the first wide-area copy (0 when there is none).
+  std::uint64_t disseminate(net::NodeId node, net::Message m);
+
+ private:
+  net::Network* net_;
+  Config cfg_;
+};
+
+}  // namespace alb::orca::coll

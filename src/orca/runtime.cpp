@@ -11,8 +11,10 @@ Runtime::Runtime(net::Network& net, Config cfg) : net_(&net) {
                                                   ? SequencerKind::Centralized
                                                   : SequencerKind::Rotating);
   seq_ = make_sequencer(kind, net, /*seq_node=*/0, cfg.migrate_threshold);
+  coll_ = std::make_unique<coll::Engine>(net, cfg.coll);
   bcast_ = std::make_unique<BroadcastEngine>(
-      net, *seq_, [this](net::NodeId node, const BcastOp& op) { apply_bcast_op(node, op); });
+      net, *seq_, *coll_,
+      [this](net::NodeId node, const BcastOp& op) { apply_bcast_op(node, op); });
   const auto clusters = static_cast<std::size_t>(net.topology().clusters());
   call_id_shards_.assign(clusters, 0);
   pending_rpcs_.resize(clusters);
@@ -403,7 +405,7 @@ void Runtime::handle_rpc_request(net::NodeId at, RpcRequest req) {
 }
 
 void Runtime::send_data(const Proc& from, int dst_rank, int tag, std::size_t bytes,
-                        std::shared_ptr<const void> payload) {
+                        std::shared_ptr<const void> payload, std::uint32_t combined_members) {
   assert(tag >= 0 && "application tags must be non-negative");
   net::Message m;
   m.src = from.node;
@@ -411,6 +413,7 @@ void Runtime::send_data(const Proc& from, int dst_rank, int tag, std::size_t byt
   m.bytes = bytes;
   m.kind = net::MsgKind::Data;
   m.tag = tag;
+  m.combined_members = combined_members;
   m.payload = std::move(payload);
   net_->send(std::move(m));
 }

@@ -34,6 +34,7 @@
 
 #include "net/network.hpp"
 #include "orca/broadcast.hpp"
+#include "orca/collective.hpp"
 #include "orca/proc.hpp"
 #include "orca/sequencer.hpp"
 #include "orca/tags.hpp"
@@ -52,6 +53,10 @@ class Runtime {
     /// Consecutive remote-cluster requests before a migrating sequencer
     /// moves (ignored for the other strategies).
     int migrate_threshold = 2;
+    /// Wide-area collective routing for broadcasts and the cluster
+    /// reduce/allreduce helpers. Flat (the default) is byte-identical
+    /// to the historical per-pair dissemination.
+    coll::Config coll;
   };
 
   explicit Runtime(net::Network& net) : Runtime(net, Config{}) {}
@@ -64,6 +69,7 @@ class Runtime {
   int nprocs() const { return net_->topology().num_compute(); }
   Sequencer& sequencer() { return *seq_; }
   BroadcastEngine& bcast() { return *bcast_; }
+  coll::Engine& coll() { return *coll_; }
 
   // --- object registry (type-erased; typed wrappers in shared_object.hpp)
   struct HolderBase {
@@ -107,8 +113,11 @@ class Runtime {
       std::size_t reply_bytes, std::function<sim::Task<std::shared_ptr<const void>>()> op);
 
   // --- raw messaging (for the C-style re-implementations of §4.8) ---
+  /// `combined_members` > 1 marks an application-level combined
+  /// shipment carrying that many logical messages (WAN accounting).
   void send_data(const Proc& from, int dst_rank, int tag, std::size_t bytes,
-                 std::shared_ptr<const void> payload = nullptr);
+                 std::shared_ptr<const void> payload = nullptr,
+                 std::uint32_t combined_members = 1);
   auto recv_data(const Proc& p, int tag) { return net_->endpoint(p.node).receive(tag); }
   std::optional<net::Message> try_recv_data(const Proc& p, int tag) {
     return net_->endpoint(p.node).try_receive(tag);
@@ -207,6 +216,7 @@ class Runtime {
   net::FaultInjector* faults_ = nullptr;
   bool recovery_on_ = false;
   std::unique_ptr<Sequencer> seq_;
+  std::unique_ptr<coll::Engine> coll_;
   std::unique_ptr<BroadcastEngine> bcast_;
 
   std::vector<std::unique_ptr<HolderBase>> holders_;

@@ -90,6 +90,10 @@ enum class EdgeClass : std::uint8_t {
   Access,
   Gateway,
   WanTransfer,
+  /// Held in a gateway combine buffer waiting for the batch to flush
+  /// (size threshold, epoch boundary) — the latency cost of
+  /// transport-level message combining.
+  CombineWait,
   FaultHold,
   Drop,
   // Virtual segment from t=0 to the first event the walk reaches.

@@ -23,6 +23,7 @@ std::string blame(EdgeClass cls, Protocol proto) {
         case EdgeClass::Gateway: return "net/gateway";
         default: return "net/wan";
       }
+    case EdgeClass::CombineWait: return "net/wan.combine.wait";
     case EdgeClass::FaultHold: return "net/fault.hold";
     case EdgeClass::Drop: return "net/fault.drop";
     case EdgeClass::Compute: return "app/compute";

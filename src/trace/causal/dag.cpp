@@ -53,6 +53,7 @@ const char* to_string(EdgeClass c) {
     case EdgeClass::Access: return "access";
     case EdgeClass::Gateway: return "gateway";
     case EdgeClass::WanTransfer: return "wan";
+    case EdgeClass::CombineWait: return "combine.wait";
     case EdgeClass::FaultHold: return "fault.hold";
     case EdgeClass::Drop: return "fault.drop";
     case EdgeClass::Startup: return "startup";
@@ -89,7 +90,7 @@ bool is_journey_name(string_view n) {
   return n == "net.send.local" || n == "net.send.lan" || n == "net.bcast.lan" ||
          n == "net.wan" || n == "net.hop.gw_in" || n == "net.hop.wan" ||
          n == "net.hop.gw_out" || n == "net.fault.drop" || n == "net.fault.flap_hold" ||
-         n == "net.deliver";
+         n == "net.combine.hold" || n == "net.deliver";
 }
 
 /// Names whose aux field carries the endpoint tag.
@@ -101,6 +102,7 @@ bool carries_tag(string_view n, EventPhase ph) {
 EdgeClass hop_class(string_view from, string_view to) {
   if (to == "net.fault.drop") return EdgeClass::Drop;
   if (from == "net.fault.flap_hold") return EdgeClass::FaultHold;
+  if (from == "net.combine.hold") return EdgeClass::CombineWait;
   if (from == "net.wan") return EdgeClass::Access;  // source node → gateway
   if (from == "net.hop.wan") return EdgeClass::WanTransfer;
   // gw_in → hop.wan / flap_hold, gw_out → wan End: forwarding overhead.

@@ -11,6 +11,7 @@
 #include <string_view>
 
 #include "apps/asp.hpp"
+#include "apps/ra.hpp"
 #include "apps/tsp.hpp"
 #include "net/presets.hpp"
 #include "trace/causal/causal.hpp"
@@ -249,6 +250,71 @@ TEST(CausalFaults, RetriesAppearOnCriticalPathWithFaultBlame) {
   ASSERT_NE(it, cp.by_blame.end())
       << "faulted run's critical path has no net/fault.retry segments";
   EXPECT_GT(it->second, 0);
+}
+
+// --- wide-area collectives -------------------------------------------
+
+TEST(CausalCollective, TreeBroadcastShrinksWideAreaBlameOnAsp) {
+  // Rows large enough that one row's access serialization (~69 us)
+  // exceeds a gateway forwarding slot (50 us), so tree mode replicates
+  // at the gateway instead of re-serializing the row up the access link
+  // once per remote cluster.
+  apps::AspParams p;
+  p.nodes = 192;
+  AppConfig flat_cfg = traced_config(4, 2);
+  const AppResult flat = apps::run_asp(flat_cfg, p);
+  AppConfig tree_cfg = traced_config(4, 2);
+  tree_cfg.coll = orca::coll::Mode::Tree;
+  const AppResult tree = apps::run_asp(tree_cfg, p);
+  ASSERT_TRUE(flat.trace);
+  ASSERT_TRUE(tree.trace);
+  EXPECT_EQ(tree.checksum, flat.checksum) << "collective layout changed the answer";
+  EXPECT_LT(tree.elapsed, flat.elapsed);
+
+  const trace::causal::CriticalPath cp_flat =
+      trace::causal::critical_path(trace::causal::build_dag(*flat.trace, flat_cfg.net_cfg));
+  const trace::causal::CriticalPath cp_tree =
+      trace::causal::critical_path(trace::causal::build_dag(*tree.trace, tree_cfg.net_cfg));
+  expect_telescopes(cp_flat);
+  expect_telescopes(cp_tree);
+
+  auto blame_of = [](const trace::causal::CriticalPath& cp, const std::string& key) {
+    const auto it = cp.by_blame.find(key);
+    return it == cp.by_blame.end() ? sim::SimTime{0} : it->second;
+  };
+  // The star keeps one WAN crossing per cross-cluster handoff, so the
+  // tree must not add propagation time to the path...
+  EXPECT_LE(blame_of(cp_tree, "net/wan.latency"), blame_of(cp_flat, "net/wan.latency"));
+  // ...and the dispatch win (C-1 access serializations collapsing into
+  // one) must show up as strictly less network time on the path.
+  const auto net_flat = cp_flat.by_layer.find("net");
+  const auto net_tree = cp_tree.by_layer.find("net");
+  ASSERT_NE(net_flat, cp_flat.by_layer.end());
+  ASSERT_NE(net_tree, cp_tree.by_layer.end());
+  EXPECT_LT(net_tree->second, net_flat->second);
+}
+
+TEST(CausalCollective, CombineHoldsAreClassedAndBlamedHonestly) {
+  EXPECT_EQ(trace::causal::blame(trace::causal::EdgeClass::CombineWait,
+                                 trace::causal::Protocol::App),
+            "net/wan.combine.wait");
+  // RA original floods the WAN with small fire-and-forget updates; in
+  // tree mode the default gateway combining holds the burst behind the
+  // first (bypassed) message, and every hold must surface in the DAG as
+  // a CombineWait edge rather than disappearing into the gateway hop.
+  AppConfig cfg = traced_config(4, 2);
+  cfg.coll = orca::coll::Mode::Tree;
+  const AppResult r = apps::run_ra(cfg, apps::RaParams::bench_default());
+  ASSERT_TRUE(r.trace);
+  ASSERT_GT(r.stats.value("net/wan.combined.flushes"), 0.0)
+      << "combining never engaged; the hold path is untested";
+  const trace::causal::Dag dag = trace::causal::build_dag(*r.trace, cfg.net_cfg);
+  std::uint64_t holds = 0;
+  for (const trace::causal::Edge& e : dag.edges) {
+    if (e.cls == trace::causal::EdgeClass::CombineWait) ++holds;
+  }
+  EXPECT_GT(holds, 0u);
+  expect_telescopes(trace::causal::critical_path(dag));
 }
 
 }  // namespace

@@ -93,6 +93,15 @@ int main(int argc, char** argv) {
               "engine partitions (1..clusters); any value produces byte-identical output");
   opts.define("threads", "0",
               "epoch-loop worker threads for a partitioned run (0 = auto)");
+  opts.define("coll", "flat",
+              "wide-area collective routing: flat (per-pair copies) or tree "
+              "(topology-chosen dissemination tree + gateway combining)");
+  opts.define("wan-streams", "1",
+              "parallel paced sub-streams per WAN circuit (1..64); the configured "
+              "WAN bandwidth is per-stream");
+  opts.define("combine-bytes", "-1",
+              "gateway combine flush threshold in bytes (0 = off; -1 = policy "
+              "default: off for --coll=flat, 4096 for --coll=tree)");
   opts.define("capacity", "1048576", "flight-recorder ring capacity (events)");
   opts.define_flag("engine-events", "also record one instant per engine event (high volume)");
   opts.define("trace-out", "", "write Chrome trace_event JSON here");
@@ -143,6 +152,23 @@ int main(int argc, char** argv) {
       throw std::runtime_error("--threads must be >= 0 (got " +
                                std::to_string(cfg.threads) + ")");
     }
+    if (const std::string& c = opts.get("coll"); c == "tree") {
+      cfg.coll = orca::coll::Mode::Tree;
+    } else if (c != "flat") {
+      throw std::runtime_error("--coll must be 'flat' or 'tree' (got '" + c + "')");
+    }
+    const long long streams = opts.get_int("wan-streams");
+    if (streams < 1 || streams > 64) {
+      throw std::runtime_error("--wan-streams must be in [1, 64] (got " +
+                               std::to_string(streams) + ")");
+    }
+    cfg.wan_streams = static_cast<int>(streams);
+    const long long combine = opts.get_int("combine-bytes");
+    if (combine < -1 || combine > (1ll << 30)) {
+      throw std::runtime_error("--combine-bytes must be in [-1, 2^30] (got " +
+                               std::to_string(combine) + ")");
+    }
+    cfg.combine_bytes = combine;
     cfg.trace.enabled = true;
     cfg.trace.capacity = static_cast<std::size_t>(opts.get_int("capacity"));
     cfg.trace.engine_events = opts.has_flag("engine-events");
@@ -172,6 +198,8 @@ int main(int argc, char** argv) {
   std::cout << "app=" << entry->name << " clusters=" << cfg.clusters
             << " per_cluster=" << cfg.procs_per_cluster
             << " variant=" << (cfg.optimized ? "optimized" : "original") << " seed=" << cfg.seed
+            << " coll=" << orca::coll::to_string(cfg.coll)
+            << (cfg.wan_streams != 1 ? " wan_streams=" + std::to_string(cfg.wan_streams) : "")
             << (faults ? " faults=preset" : "") << "\n"
             << "sim_time_s=" << sim::to_seconds(r.elapsed) << " events=" << r.events
             << " trace_hash=" << r.trace_hash << "\n";
@@ -211,6 +239,22 @@ int main(int argc, char** argv) {
   if (csv) traffic.print_csv(std::cout);
   else traffic.print(std::cout);
   std::cout << "\n";
+
+  // --- gateway combining (only when it actually combined) ------------
+  if (r.stats.value("net/wan.combined.flushes") > 0) {
+    util::Table ct({"counter", "value"});
+    const auto add = [&](const char* label, const char* metric) {
+      ct.row().add(label).add(static_cast<long long>(r.stats.value(metric)));
+    };
+    add("combined flushes", "net/wan.combined.flushes");
+    add("combined members", "net/wan.combined.members");
+    add("combined wire bytes", "net/wan.combined.wire_bytes");
+    add("combined logical bytes", "net/wan.combined.logical_bytes");
+    std::cout << (csv ? "# wan combining\n" : "=== WAN gateway combining ===\n");
+    if (csv) ct.print_csv(std::cout);
+    else ct.print(std::cout);
+    std::cout << "\n";
+  }
 
   // --- fault + recovery counters -------------------------------------
   if (faults) {

@@ -163,6 +163,53 @@ diff build-release/alb-trace.p1.csv build-release/alb-trace.p4.csv \
 diff build-release/alb-trace.p1f.csv build-release/alb-trace.p4f.csv \
   || { echo "faulted partitioned run differs from sequential reference"; exit 1; }
 
+echo "=== wide-area collectives: traffic floor + determinism gates ==="
+# Tree dissemination + gateway combining must cut RA's WAN wire RPC
+# count at the paper geometry (floor: at least 25% fewer than flat),
+# and the tree-mode schedule must stay byte-identical across partition
+# counts — clean and faulted — with a --jobs-independent bench table.
+COLL_ARGS=(--app RA --clusters 4 --per 16 --csv)
+./build-release/tools/alb-trace "${COLL_ARGS[@]}" \
+  --metrics-json build-release/alb-trace.ra.flat.json > /dev/null
+./build-release/tools/alb-trace "${COLL_ARGS[@]}" --coll tree \
+  --metrics-json build-release/alb-trace.ra.tree.json > /dev/null
+python3 - <<'EOF'
+import json
+flat = json.load(open("build-release/alb-trace.ra.flat.json"))["counters"]
+tree = json.load(open("build-release/alb-trace.ra.tree.json"))["counters"]
+f, t = flat["net/wan.table.rpc.msgs"], tree["net/wan.table.rpc.msgs"]
+assert f > 0, "flat RA run crossed no WAN RPCs"
+assert t < 0.75 * f, f"tree did not cut RA WAN RPCs by >=25%: {f} -> {t}"
+assert tree["net/wan.combined.flushes"] > 0, "tree RA run never combined"
+print(f"RA 4x16 WAN wire RPCs: flat {f:.0f} -> tree {t:.0f} OK")
+EOF
+TREE_ARGS=(--app ASP --clusters 4 --per 2 --csv --coll tree --wan-streams 2)
+./build-release/tools/alb-trace "${TREE_ARGS[@]}" --partitions 1 > build-release/alb-trace.tree.p1.csv
+./build-release/tools/alb-trace "${TREE_ARGS[@]}" --partitions 4 > build-release/alb-trace.tree.p4.csv
+diff build-release/alb-trace.tree.p1.csv build-release/alb-trace.tree.p4.csv \
+  || { echo "tree-mode partitioned run differs from sequential reference"; exit 1; }
+./build-release/tools/alb-trace "${TREE_ARGS[@]}" --faults --partitions 1 > build-release/alb-trace.tree.p1f.csv
+./build-release/tools/alb-trace "${TREE_ARGS[@]}" --faults --partitions 4 > build-release/alb-trace.tree.p4f.csv
+diff build-release/alb-trace.tree.p1f.csv build-release/alb-trace.tree.p4f.csv \
+  || { echo "faulted tree-mode partitioned run differs from sequential reference"; exit 1; }
+# bench_collective verdicts the whole-suite contract (checksums equal,
+# elapsed no worse, wire traffic reduced on the combine targets) via its
+# exit code; its CSV carries only simulated numbers, so it must be
+# --jobs independent. (The JSON adds wall-clock throughput — not diffed.)
+./build-release/bench/bench_collective --quick --csv --jobs 1 \
+  --json build-release/BENCH_collective.j1.json \
+  | grep -v '^wrote ' > build-release/bench_collective.j1.csv
+./build-release/bench/bench_collective --quick --csv --jobs 4 \
+  --json build-release/BENCH_collective.j4.json \
+  | grep -v '^wrote ' > build-release/bench_collective.j4.csv
+diff build-release/bench_collective.j1.csv build-release/bench_collective.j4.csv \
+  || { echo "bench_collective: parallel CSV differs from sequential"; exit 1; }
+
+echo "=== perf gate: bench_collective vs tracked baseline ==="
+./build-release/bench/bench_collective --json build-release/BENCH_collective.gate.json > /dev/null
+python3 tools/bench_compare.py results/BENCH_collective.baseline.json \
+  build-release/BENCH_collective.gate.json
+
 echo "=== docs: no dead relative links ==="
 fail=0
 for doc in README.md DESIGN.md EXPERIMENTS.md docs/*.md; do
