@@ -61,6 +61,13 @@ struct AppConfig {
   /// the policy default (0 for Flat, kTreeDefaultCombineBytes for
   /// Tree), 0 disables combining explicitly.
   std::int64_t combine_bytes = -1;
+  /// Adaptive policy engine (--adapt): the runtime detects the paper's
+  /// §4 WAN-bound patterns at epoch boundaries and applies the matching
+  /// optimization mid-run (docs/ADAPTIVE.md). Off is a byte-identical
+  /// no-op. Explicit choices win over policy: --coll tree suppresses
+  /// the tree policy, --combine-bytes the combining policy, and an app-
+  /// forced sequencer the migration policy (orca/adapt.override.*).
+  bool adapt = false;
 
   int total_procs() const { return clusters * procs_per_cluster; }
 };
@@ -190,9 +197,22 @@ struct Harness {
     return t;
   }
 
-  /// Copies the harness-level collective policy into the runtime config.
+  /// Copies the harness-level collective + adaptive policy into the
+  /// runtime config, resolving flag-vs-policy precedence (explicit
+  /// flags win; the Runtime itself resolves an app-forced sequencer).
   static orca::Runtime::Config with_coll(orca::Runtime::Config rtc, const AppConfig& cfg) {
     rtc.coll.mode = cfg.coll;
+    if (cfg.adapt) {
+      rtc.adapt.enabled = true;
+      if (cfg.coll != orca::coll::Mode::Flat) {
+        rtc.adapt.allow_tree = false;
+        rtc.adapt.coll_overridden = true;
+      }
+      if (cfg.combine_bytes >= 0) {
+        rtc.adapt.allow_combine = false;
+        rtc.adapt.combine_overridden = true;
+      }
+    }
     return rtc;
   }
 };

@@ -31,7 +31,10 @@ class ClusterCombiner {
     std::size_t item_bytes = 16;
     /// Relay flushes a destination buffer at this many items.
     std::size_t flush_items = 256;
-    /// false = unoptimized: intercluster items bypass the cluster relay.
+    /// false = unoptimized: intercluster items bypass the cluster relay
+    /// — unless the adaptive engine ratchets a cluster's relay combining
+    /// on mid-run (see orca/adaptive.hpp; an explicit --combine-bytes
+    /// choice suppresses that policy at the harness).
     bool enabled = true;
     /// Per-destination-NODE batching at the sender (>1 = the classic
     /// message combining the paper's baseline RA already performed [3];
@@ -49,6 +52,7 @@ class ClusterCombiner {
                  static_cast<std::size_t>(rt.network().topology().clusters())),
         combined_shards_(static_cast<std::size_t>(rt.network().topology().clusters()), 0) {
     const auto& topo = rt.network().topology();
+    if (topo.clusters() > 1) adapt_ = rt.adaptive();
     for (int n = 0; n < topo.num_compute(); ++n) {
       // Direct item (intracluster, or unoptimized intercluster).
       rt.network().endpoint(n).set_handler(opt_.tag, [this, n](net::Message m) {
@@ -83,7 +87,11 @@ class ClusterCombiner {
       deliver_item(p.rank, std::move(item));
       return;
     }
-    if (opt_.enabled && !p.same_cluster(dst_rank)) {
+    const bool remote = !p.same_cluster(dst_rank);
+    if (adapt_ != nullptr) adapt_->note_combiner_item(p.cluster(), remote);
+    const bool combine =
+        opt_.enabled || (adapt_ != nullptr && adapt_->combine_enabled(p.cluster()));
+    if (combine && remote) {
       const int relay = relay_rank(p.cluster());
       if (p.rank == relay) {
         relay_enqueue(p.cluster(), dst_rank, std::move(item));
@@ -229,6 +237,7 @@ class ClusterCombiner {
   }
 
   orca::Runtime* rt_;
+  orca::adapt::Engine* adapt_ = nullptr;  // null => Options::enabled alone decides
   Options opt_;
   Deliver deliver_;
   std::vector<std::uint64_t> sent_;

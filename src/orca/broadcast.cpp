@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "orca/adaptive.hpp"
 #include "orca/tags.hpp"
 
 namespace alb::orca {
@@ -64,7 +65,11 @@ sim::Task<void> BroadcastEngine::broadcast(net::NodeId node, std::size_t bytes, 
     span = rec->next_span_id();
     rec->begin(trace::Category::Orca, "orca.seq.get", node, span);
   }
+  const sim::SimTime seq_start = net_->engine().now();
   const std::uint64_t seq = co_await seq_->get_sequence(node);
+  if (adapt_ != nullptr) {
+    adapt_->note_seq_wait(cluster, net_->engine().now() - seq_start, bytes);
+  }
   if (rec) {
     rec->end(trace::Category::Orca, "orca.seq.get", node, span, seq);
     // Span 2: dissemination until the sender's own in-order apply.

@@ -27,6 +27,10 @@
 
 namespace alb::orca {
 
+namespace adapt {
+class Engine;
+}
+
 /// A shipped write operation: the object it targets and the closure to
 /// run against each node's local copy.
 struct BcastOp {
@@ -65,6 +69,10 @@ class BroadcastEngine {
     return n;
   }
 
+  /// Feeds per-cluster sequencer-wait signals to the adaptive policy
+  /// engine (null = no instrumentation; the default, byte-identical).
+  void set_adapt(adapt::Engine* a) { adapt_ = a; }
+
   /// Hard-failure fan-out for one cluster: errors every sender on
   /// `cluster`'s nodes waiting for its own op's in-order local apply so
   /// the caller unwinds (see src/net/fault.hpp). Called per cluster, in
@@ -86,6 +94,7 @@ class BroadcastEngine {
   net::Network* net_;
   Sequencer* seq_;
   coll::Engine* coll_;
+  adapt::Engine* adapt_ = nullptr;
   ApplyFn apply_op_;
 
   // Per compute node: next sequence number to apply and the buffer of

@@ -5,7 +5,8 @@ namespace alb::orca::coll {
 std::uint64_t Engine::disseminate(net::NodeId node, net::Message m) {
   const auto& topo = net_->topology();
   if (topo.clusters() <= 1) return 0;
-  if (cfg_.mode == Mode::Tree) {
+  const net::ClusterId mine = topo.cluster_of(node);
+  if (mode_of(mine) == Mode::Tree) {
     // The flat loop is itself a dissemination tree — a star rooted at
     // the *source node*, whose per-copy dispatch cost is one access
     // serialization. Replicating at the gateway instead trades that for
@@ -19,7 +20,6 @@ std::uint64_t Engine::disseminate(net::NodeId node, net::Message m) {
   }
   // Flat: one independent wide-area copy per remote cluster, in cluster
   // order — byte-identical to the historical inlined loops.
-  const net::ClusterId mine = topo.cluster_of(node);
   std::uint64_t first_id = 0;
   for (net::ClusterId c = 0; c < topo.clusters(); ++c) {
     if (c == mine) continue;

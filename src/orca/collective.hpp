@@ -11,11 +11,16 @@
 // every cluster pair on the tree is crossed exactly once and the
 // sender's gateway no longer serializes C-1 copies.
 //
-// The layer is deliberately stateless (mode + a pointer to the network):
-// call sites pass the source node and a prototype message, and the same
-// inputs produce the same wire schedule on every partition/thread count.
+// The layer carries no per-message state (a mode per cluster + a pointer
+// to the network): call sites pass the source node and a prototype
+// message, and the same inputs produce the same wire schedule on every
+// partition/thread count. The adaptive policy engine (orca/adaptive.hpp)
+// may ratchet one cluster's mode Flat→Tree mid-run via set_mode; each
+// cluster's mode slot is written and read only in that cluster's engine
+// context.
 
 #include <cstdint>
+#include <vector>
 
 #include "net/coll_tree.hpp"
 #include "net/message.hpp"
@@ -44,9 +49,24 @@ struct Config {
 
 class Engine {
  public:
-  Engine(net::Network& net, Config cfg) : net_(&net), cfg_(cfg) {}
+  Engine(net::Network& net, Config cfg)
+      : net_(&net),
+        cfg_(cfg),
+        modes_(static_cast<std::size_t>(net.topology().clusters()), cfg.mode) {}
 
+  /// The configured (whole-run) mode.
   Mode mode() const { return cfg_.mode; }
+
+  /// The mode `cluster`'s dissemination currently uses (== mode() unless
+  /// the adaptive engine ratcheted it). Read in the cluster's context.
+  Mode mode_of(net::ClusterId cluster) const {
+    return modes_[static_cast<std::size_t>(cluster)];
+  }
+
+  /// Adaptive ratchet: called in `cluster`'s engine context only.
+  void set_mode(net::ClusterId cluster, Mode m) {
+    modes_[static_cast<std::size_t>(cluster)] = m;
+  }
 
   /// The tree shape Tree mode uses for a payload of `bytes` (picked
   /// once per dissemination from the topology's link parameters).
@@ -63,6 +83,9 @@ class Engine {
  private:
   net::Network* net_;
   Config cfg_;
+  // Per-cluster mode slots: distinct byte elements, each confined to
+  // its cluster's context — adjacent writes do not race.
+  std::vector<Mode> modes_;
 };
 
 }  // namespace alb::orca::coll

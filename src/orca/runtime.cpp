@@ -10,7 +10,21 @@ Runtime::Runtime(net::Network& net, Config cfg) : net_(&net) {
   SequencerKind kind = cfg.sequencer.value_or(net.topology().clusters() == 1
                                                   ? SequencerKind::Centralized
                                                   : SequencerKind::Rotating);
-  seq_ = make_sequencer(kind, net, /*seq_node=*/0, cfg.migrate_threshold);
+  int migrate_threshold = cfg.migrate_threshold;
+  if (cfg.adapt.enabled && net.topology().clusters() > 1) {
+    if (cfg.sequencer.has_value()) {
+      // Explicit choice wins over policy (reported as a typed warning
+      // counter by the adaptive engine's publish_metrics).
+      cfg.adapt.allow_seq = false;
+      cfg.adapt.seq_overridden = true;
+    } else {
+      // Un-armed migrating sequencer: behaves like the centralized
+      // default until an epoch evaluator arms it (see orca/adaptive.hpp).
+      kind = SequencerKind::Migrating;
+      migrate_threshold = adapt::kUnarmedThreshold;
+    }
+  }
+  seq_ = make_sequencer(kind, net, /*seq_node=*/0, migrate_threshold);
   coll_ = std::make_unique<coll::Engine>(net, cfg.coll);
   bcast_ = std::make_unique<BroadcastEngine>(
       net, *seq_, *coll_,
@@ -26,6 +40,11 @@ Runtime::Runtime(net::Network& net, Config cfg) : net_(&net) {
   if (recovery_on_) {
     faults_->on_fail(
         [this](net::ClusterId c, const net::FailureInfo& info) { on_hard_failure(c, info); });
+  }
+  if (cfg.adapt.enabled) {
+    adaptive_ = std::make_unique<adapt::Engine>(*this, cfg.adapt);
+    bcast_->set_adapt(adaptive_.get());
+    adaptive_->start();
   }
 }
 
@@ -539,6 +558,7 @@ void Runtime::publish_metrics(trace::Metrics& m) const {
   *m.counter("orca/seq.issued") = seq_->issued();
   *m.counter("orca/barrier.rounds") = barrier_generation_;
   *m.counter("orca/fault.failed_procs") = static_cast<std::uint64_t>(failed);
+  if (adaptive_) adaptive_->publish_metrics(m);
 }
 
 }  // namespace alb::orca

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "orca/adaptive.hpp"
 #include "orca/broadcast.hpp"
 #include "orca/collective.hpp"
 #include "orca/proc.hpp"
@@ -57,6 +58,12 @@ class Runtime {
     /// reduce/allreduce helpers. Flat (the default) is byte-identical
     /// to the historical per-pair dissemination.
     coll::Config coll;
+    /// Adaptive policy engine (off by default — a byte-identical
+    /// no-op). When enabled and no sequencer was chosen explicitly,
+    /// the runtime starts an un-armed migrating sequencer so the seq
+    /// policy has something to arm; an explicit `sequencer` wins and
+    /// suppresses that policy (orca/adapt.override.seq).
+    adapt::Config adapt;
   };
 
   explicit Runtime(net::Network& net) : Runtime(net, Config{}) {}
@@ -70,6 +77,18 @@ class Runtime {
   Sequencer& sequencer() { return *seq_; }
   BroadcastEngine& bcast() { return *bcast_; }
   coll::Engine& coll() { return *coll_; }
+  /// Null unless Config::adapt.enabled (callers gate their adaptive
+  /// paths on this so the default stays byte-identical).
+  adapt::Engine* adaptive() { return adaptive_.get(); }
+
+  /// True once every process hosted in `cluster` finished or unwound.
+  /// Safe to read mid-run from that cluster's own context (the finish
+  /// shard is updated there); the adaptive epoch chains use it to
+  /// retire themselves.
+  bool cluster_quiescent(net::ClusterId cluster) const {
+    return finish_shards_[static_cast<std::size_t>(cluster)].finished >=
+           net_->topology().nodes_per_cluster();
+  }
 
   // --- object registry (type-erased; typed wrappers in shared_object.hpp)
   struct HolderBase {
@@ -218,6 +237,7 @@ class Runtime {
   std::unique_ptr<Sequencer> seq_;
   std::unique_ptr<coll::Engine> coll_;
   std::unique_ptr<BroadcastEngine> bcast_;
+  std::unique_ptr<adapt::Engine> adaptive_;
 
   std::vector<std::unique_ptr<HolderBase>> holders_;
   // waiters_[object][node]: predicate waiters, touched only in the

@@ -44,6 +44,13 @@ struct SeqHint {
   net::NodeId target;
 };
 
+/// Routed adaptive arm: "install this migrate threshold" (see
+/// orca/adaptive.hpp — sent by a cluster's epoch evaluator when its
+/// processes are sequencer-wait dominated).
+struct SeqArm {
+  int threshold;
+};
+
 using GrantCache = std::map<std::uint64_t, std::uint64_t>;  // req_id -> seq
 
 class SequencerBase : public Sequencer {
@@ -520,6 +527,9 @@ class MigratingSequencer final : public SequencerBase {
       this->net().endpoint(n).set_handler(kTagSeqHint, [this, n](net::Message m) {
         on_hint(static_cast<net::NodeId>(n), net::payload_as<SeqHint>(m).target);
       });
+      this->net().endpoint(n).set_handler(kTagSeqArm, [this, n](net::Message m) {
+        on_arm(static_cast<net::NodeId>(n), net::payload_as<SeqArm>(m).threshold);
+      });
     }
   }
 
@@ -560,6 +570,17 @@ class MigratingSequencer final : public SequencerBase {
     // "please migrate to me" has to reach the current location somehow.
     send_control(node, loc_hint_[static_cast<std::size_t>(cluster)], kTagSeqHint,
                  net::make_payload<SeqHint>(SeqHint{node}));
+  }
+
+  void adapt_arm(net::NodeId from, int threshold) override {
+    if (active_[static_cast<std::size_t>(from)]) {
+      apply_arm(from, threshold);
+      return;
+    }
+    // Route like a hint: toward the cluster's believed location,
+    // chasing forwarding pointers from there (see on_arm).
+    send_control(from, loc_hint_[static_cast<std::size_t>(topo().cluster_of(from))], kTagSeqArm,
+                 net::make_payload<SeqArm>(SeqArm{threshold}));
   }
 
   void fail_pending(net::ClusterId cluster, std::exception_ptr e) override {
@@ -629,6 +650,33 @@ class MigratingSequencer final : public SequencerBase {
     if (target != at) migrate_to(at, target);
   }
 
+  void on_arm(net::NodeId at, int threshold) {
+    if (!active_[static_cast<std::size_t>(at)]) {
+      if (forward_[static_cast<std::size_t>(at)] >= 0) {
+        send_control(at, forward_[static_cast<std::size_t>(at)], kTagSeqArm,
+                     net::make_payload<SeqArm>(SeqArm{threshold}));
+      }
+      // else: the migrate naming this node is in flight. Arming is
+      // advisory and idempotent — another cluster's (or a later
+      // epoch's) arm will land — so drop it like a lost hint.
+      return;
+    }
+    apply_arm(at, threshold);
+  }
+
+  /// Runs at the active location's context; threshold_ is handoff-owned.
+  void apply_arm(net::NodeId at, int threshold) {
+    if (threshold_ <= threshold) return;  // already armed at least this hard
+    threshold_ = threshold;
+    if (trace::Recorder* rec = eng().tracer()) {
+      rec->instant(trace::Category::Orca, "orca.seq.armed", at,
+                   static_cast<std::uint64_t>(threshold));
+    }
+    // An existing streak may already clear the new threshold; the next
+    // served request will notice — no migration is forced here, demand
+    // still drives the move.
+  }
+
   void note_request_from(net::NodeId requester) {
     const net::ClusterId c = topo().cluster_of(requester);
     if (c == consec_cluster_) {
@@ -661,7 +709,7 @@ class MigratingSequencer final : public SequencerBase {
     consec_count_ = 0;
   }
 
-  int threshold_;
+  int threshold_;  // handoff-owned since adapt_arm can lower it mid-run
   // Per-node slots: each element is only touched in its node's cluster
   // context (distinct memory locations, so neighbours don't race).
   std::vector<char> active_;          // 1 = requests are served here

@@ -58,6 +58,16 @@ class Sequencer {
   /// as a control message to the active sequencer location).
   virtual void hint_migrate(net::NodeId node) { (void)node; }
 
+  /// Adaptive-policy hook: lower the migrating sequencer's demand
+  /// threshold to `threshold`, routed from `from` to the active
+  /// location as a control message (kTagSeqArm). No-op for the fixed
+  /// sequencers — the adaptive runtime only pairs this with an
+  /// un-armed migrating sequencer (see orca/adaptive.hpp).
+  virtual void adapt_arm(net::NodeId from, int threshold) {
+    (void)from;
+    (void)threshold;
+  }
+
   /// Hard-failure fan-out for one cluster: errors every get-sequence
   /// call from `cluster`'s nodes parked inside the sequencer (not in
   /// flight on the network) so its caller unwinds. Callers suspended on

@@ -16,6 +16,7 @@ enum RtsTag : int {
   kTagBarrierArrive = -8,
   kTagBarrierRelease = -9,
   kTagSeqHint = -10,
+  kTagSeqArm = -11,
 };
 
 /// Size of the runtime's small protocol messages (sequence requests,

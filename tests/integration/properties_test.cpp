@@ -142,7 +142,10 @@ TEST(SequencerEquivalence, AcpFixpointIdenticalUnderAllStrategies) {
     // raw board protocol under each sequencer instead.
     sim::Engine eng;
     net::Network net(eng, net::das_config(2, 2));
-    orca::Runtime rt(net, orca::Runtime::Config{kind, 2});
+    orca::Runtime::Config rtc;
+    rtc.sequencer = kind;
+    rtc.migrate_threshold = 2;
+    orca::Runtime rt(net, rtc);
     auto board = orca::create_replicated<std::vector<int>>(rt, std::vector<int>(8, 0));
     rt.spawn_all([&](orca::Proc& p2) -> sim::Task<void> {
       for (int i = 0; i < 4; ++i) {

@@ -27,6 +27,15 @@ struct Fixture {
   Fixture(net::TopologyConfig cfg, Runtime::Config rc = {}) : net(eng, cfg), rt(net, rc) {}
 };
 
+// Names the two fields the sequencer sweeps care about (Runtime::Config
+// has grown tail fields past them).
+Runtime::Config seq_cfg(SequencerKind kind, int migrate_threshold) {
+  Runtime::Config rc;
+  rc.sequencer = kind;
+  rc.migrate_threshold = migrate_threshold;
+  return rc;
+}
+
 TEST(Replicated, ReadIsLocalAndFree) {
   Fixture f(net::das_config(2, 4));
   auto obj = create_replicated<Log>(f.rt, Log{{1, 2, 3}});
@@ -86,7 +95,7 @@ class TotalOrderSweep : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(TotalOrderSweep, AllReplicasApplyIdenticalSequences) {
   auto [kind, clusters, per] = GetParam();
-  Fixture f(net::das_config(clusters, per), Runtime::Config{kind, 2});
+  Fixture f(net::das_config(clusters, per), seq_cfg(kind, 2));
   auto obj = create_replicated<Log>(f.rt, Log{});
   const int writes_per_proc = 5;
   f.rt.spawn_all([&, kind = kind](Proc& p) -> sim::Task<void> {
@@ -190,7 +199,7 @@ TEST(Sequencer, MigratingBecomesLocalAfterThreshold) {
   // A remote cluster that broadcasts repeatedly should see get-sequence
   // become cheap once the sequencer migrates to it.
   Fixture f(net::das_config(2, 4),
-            Runtime::Config{SequencerKind::Migrating, /*migrate_threshold=*/2});
+            seq_cfg(SequencerKind::Migrating, /*migrate_threshold=*/2));
   auto obj = create_replicated<Log>(f.rt, Log{});
   std::vector<sim::SimTime> costs;
   f.rt.spawn_all([&](Proc& p) -> sim::Task<void> {
@@ -208,7 +217,7 @@ TEST(Sequencer, MigratingBecomesLocalAfterThreshold) {
 }
 
 TEST(Sequencer, RotatingKeepsSingleClusterFast) {
-  Fixture f(net::das_config(1, 8), Runtime::Config{SequencerKind::Rotating, 2});
+  Fixture f(net::das_config(1, 8), seq_cfg(SequencerKind::Rotating, 2));
   auto obj = create_replicated<Log>(f.rt, Log{});
   sim::SimTime elapsed = -1;
   f.rt.spawn_all([&](Proc& p) -> sim::Task<void> {
@@ -222,7 +231,7 @@ TEST(Sequencer, RotatingKeepsSingleClusterFast) {
 }
 
 TEST(Sequencer, RotatingRemoteClusterPaysWanHops) {
-  Fixture f(net::das_config(4, 2), Runtime::Config{SequencerKind::Rotating, 2});
+  Fixture f(net::das_config(4, 2), seq_cfg(SequencerKind::Rotating, 2));
   auto obj = create_replicated<Log>(f.rt, Log{});
   std::vector<sim::SimTime> costs;
   f.rt.spawn_all([&](Proc& p) -> sim::Task<void> {
@@ -240,7 +249,7 @@ TEST(Sequencer, RotatingRemoteClusterPaysWanHops) {
 }
 
 TEST(Sequencer, HintMigrateMovesSequencerForLaterWrites) {
-  Fixture f(net::das_config(2, 4), Runtime::Config{SequencerKind::Migrating, 100});
+  Fixture f(net::das_config(2, 4), seq_cfg(SequencerKind::Migrating, 100));
   auto obj = create_replicated<Log>(f.rt, Log{});
   std::vector<sim::SimTime> costs;
   f.rt.spawn_all([&](Proc& p) -> sim::Task<void> {

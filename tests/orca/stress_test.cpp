@@ -26,10 +26,19 @@ struct Journal {
   std::vector<int> entries;
 };
 
+// Names the two fields the stress runs care about (Runtime::Config has
+// grown tail fields past them).
+Runtime::Config seq_cfg(SequencerKind kind, int migrate_threshold) {
+  Runtime::Config rc;
+  rc.sequencer = kind;
+  rc.migrate_threshold = migrate_threshold;
+  return rc;
+}
+
 TEST(BroadcastStress, InterleavedWriteStormStaysTotallyOrdered) {
   // Every process issues bursts of writes with pseudo-random pauses;
   // all replicas must see the identical sequence, under heavy load.
-  Fixture f(net::das_config(4, 4), Runtime::Config{SequencerKind::Rotating, 2});
+  Fixture f(net::das_config(4, 4), seq_cfg(SequencerKind::Rotating, 2));
   auto obj = create_replicated<Journal>(f.rt, Journal{});
   f.rt.spawn_all([&](Proc& p) -> sim::Task<void> {
     for (int burst = 0; burst < 3; ++burst) {
@@ -181,7 +190,7 @@ TEST(Combiner, SenderBatchingFlushesOnThresholdAndExplicitly) {
 TEST(Sequencer, RotatingServesManyClustersFairly) {
   // With all clusters requesting constantly, every cluster's writes
   // complete (no starvation) and the order interleaves clusters.
-  Fixture f(net::das_config(4, 2), Runtime::Config{SequencerKind::Rotating, 2});
+  Fixture f(net::das_config(4, 2), seq_cfg(SequencerKind::Rotating, 2));
   auto obj = create_replicated<Journal>(f.rt, Journal{});
   f.rt.spawn_all([&](Proc& p) -> sim::Task<void> {
     if (!p.is_cluster_leader()) co_return;

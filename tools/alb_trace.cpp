@@ -102,6 +102,10 @@ int main(int argc, char** argv) {
   opts.define("combine-bytes", "-1",
               "gateway combine flush threshold in bytes (0 = off; -1 = policy "
               "default: off for --coll=flat, 4096 for --coll=tree)");
+  opts.define_flag("adapt",
+                   "self-optimizing runtime: detect WAN-bound access patterns at "
+                   "epoch boundaries and apply the matching Sec.4 optimization "
+                   "mid-run (docs/ADAPTIVE.md); explicit flags win over policy");
   opts.define("capacity", "1048576", "flight-recorder ring capacity (events)");
   opts.define_flag("engine-events", "also record one instant per engine event (high volume)");
   opts.define("trace-out", "", "write Chrome trace_event JSON here");
@@ -169,6 +173,7 @@ int main(int argc, char** argv) {
                                std::to_string(combine) + ")");
     }
     cfg.combine_bytes = combine;
+    cfg.adapt = opts.has_flag("adapt");
     cfg.trace.enabled = true;
     cfg.trace.capacity = static_cast<std::size_t>(opts.get_int("capacity"));
     cfg.trace.engine_events = opts.has_flag("engine-events");
@@ -200,7 +205,7 @@ int main(int argc, char** argv) {
             << " variant=" << (cfg.optimized ? "optimized" : "original") << " seed=" << cfg.seed
             << " coll=" << orca::coll::to_string(cfg.coll)
             << (cfg.wan_streams != 1 ? " wan_streams=" + std::to_string(cfg.wan_streams) : "")
-            << (faults ? " faults=preset" : "") << "\n"
+            << (cfg.adapt ? " adapt=on" : "") << (faults ? " faults=preset" : "") << "\n"
             << "sim_time_s=" << sim::to_seconds(r.elapsed) << " events=" << r.events
             << " trace_hash=" << r.trace_hash << "\n";
   if (r.status != apps::AppResult::RunStatus::Ok) {
@@ -253,6 +258,26 @@ int main(int argc, char** argv) {
     std::cout << (csv ? "# wan combining\n" : "=== WAN gateway combining ===\n");
     if (csv) ct.print_csv(std::cout);
     else ct.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- adaptive decisions (only when the engine ran) -----------------
+  if (cfg.adapt && r.stats.value("orca/adapt.epochs") > 0) {
+    util::Table at({"counter", "value"});
+    const auto add = [&](const char* label, const char* metric) {
+      at.row().add(label).add(static_cast<long long>(r.stats.value(metric)));
+    };
+    add("epochs evaluated", "orca/adapt.epochs");
+    add("sequencer arms", "orca/adapt.seq.arms");
+    add("queue splits", "orca/adapt.queue.splits");
+    add("clusters combining", "orca/adapt.combine.enabled");
+    add("clusters on tree", "orca/adapt.tree.enabled");
+    add("override: sequencer", "orca/adapt.override.seq");
+    add("override: coll", "orca/adapt.override.coll");
+    add("override: combine", "orca/adapt.override.combine");
+    std::cout << (csv ? "# adaptive decisions\n" : "=== adaptive decisions ===\n");
+    if (csv) at.print_csv(std::cout);
+    else at.print(std::cout);
     std::cout << "\n";
   }
 

@@ -210,6 +210,102 @@ echo "=== perf gate: bench_collective vs tracked baseline ==="
 python3 tools/bench_compare.py results/BENCH_collective.baseline.json \
   build-release/BENCH_collective.gate.json
 
+echo "=== adaptive engine: determinism + decision gates ==="
+# Adaptive decisions are sim-time state, not observations of the run, so
+# --adapt must stay byte-identical across partition counts — clean and
+# faulted — like every other mode.
+ADAPT_ARGS=(--app ASP --clusters 4 --per 2 --csv --adapt)
+./build-release/tools/alb-trace "${ADAPT_ARGS[@]}" --partitions 1 > build-release/alb-trace.adapt.p1.csv
+./build-release/tools/alb-trace "${ADAPT_ARGS[@]}" --partitions 4 > build-release/alb-trace.adapt.p4.csv
+diff build-release/alb-trace.adapt.p1.csv build-release/alb-trace.adapt.p4.csv \
+  || { echo "adaptive partitioned run differs from sequential reference"; exit 1; }
+./build-release/tools/alb-trace "${ADAPT_ARGS[@]}" --faults --partitions 1 > build-release/alb-trace.adapt.p1f.csv
+./build-release/tools/alb-trace "${ADAPT_ARGS[@]}" --faults --partitions 4 > build-release/alb-trace.adapt.p4f.csv
+diff build-release/alb-trace.adapt.p1f.csv build-release/alb-trace.adapt.p4f.csv \
+  || { echo "faulted adaptive partitioned run differs from sequential reference"; exit 1; }
+# The armed sequencer must actually trip on the smoke geometry, or the
+# diff above is vacuously comparing two no-op runs.
+if ! grep -q '^sequencer arms,[1-9]' build-release/alb-trace.adapt.p1.csv; then
+  echo "adaptive ASP smoke armed no sequencer migration"; exit 1
+fi
+# bench_adaptive verdicts the three-arm contract (auto checksums equal
+# orig, auto strictly beats orig and lands within 25% of hand-opt on the
+# gated apps) via its exit code; its CSV carries only simulated numbers,
+# so it must be --jobs independent.
+./build-release/bench/bench_adaptive --quick --csv --jobs 1 \
+  --json build-release/BENCH_adaptive.j1.json \
+  | grep -v '^wrote ' > build-release/bench_adaptive.j1.csv
+./build-release/bench/bench_adaptive --quick --csv --jobs 4 \
+  --json build-release/BENCH_adaptive.j4.json \
+  | grep -v '^wrote ' > build-release/bench_adaptive.j4.csv
+diff build-release/bench_adaptive.j1.csv build-release/bench_adaptive.j4.csv \
+  || { echo "bench_adaptive: parallel CSV differs from sequential"; exit 1; }
+
+echo "=== perf gate: bench_adaptive vs tracked baseline ==="
+# Full (paper-geometry) run: the three-arm verdicts gate via the exit
+# code, the suite throughputs gate via bench_compare.py.
+./build-release/bench/bench_adaptive --json build-release/BENCH_adaptive.gate.json > /dev/null
+python3 tools/bench_compare.py results/BENCH_adaptive.baseline.json \
+  build-release/BENCH_adaptive.gate.json
+
+echo "=== docs: metric catalogue coverage ==="
+# Every sim/net/orca metric name the source publishes must appear in the
+# OBSERVABILITY.md catalogue (directly, via a `<kind>` template, or
+# under a documented `.*` family) — undocumented counters fail CI.
+python3 - <<'EOF'
+import pathlib, re, sys
+
+# Metric names the source publishes: string literals shaped like
+# <scope>/<word>... with scope sim|net|orca. Include paths share the
+# shape, so anything ending in a source-file suffix is skipped.
+lit = re.compile(r'"((?:sim|net|orca)/[A-Za-z0-9_.]*)"')
+published = set()
+for f in pathlib.Path("src").rglob("*.?pp"):
+    for m in lit.finditer(f.read_text()):
+        n = m.group(1)
+        if n.endswith((".hpp", ".cpp", ".h", ".inc")):
+            continue
+        published.add(n)
+
+doc = pathlib.Path("docs/OBSERVABILITY.md").read_text()
+exact, families = set(), []
+token = re.compile(r'`([^`]+)`')
+name_like = re.compile(r'(?:sim|net|orca)/[A-Za-z0-9_.<>*]+$')
+for line in doc.splitlines():
+    last = None
+    for t in token.findall(line):
+        if t.startswith(".") and last:  # `.bytes` shorthand continuation
+            t = last.rsplit(".", 1)[0] + t
+        if not name_like.match(t):
+            continue
+        last = t
+        if t.endswith(".*"):
+            families.append(t[:-1])     # documented family, e.g. net/fault.
+        else:
+            exact.add(t)
+templates = [re.compile(re.escape(t).replace(re.escape("<kind>"), r"[a-z_-]+") + "$")
+             for t in exact if "<" in t]
+
+missing = []
+for n in sorted(published):
+    if n in exact:
+        continue
+    if n.endswith("."):                 # concatenation prefix of a templated name
+        if any(t.startswith(n) for t in exact if "<" in t):
+            continue
+    if any(t.match(n) for t in templates):
+        continue
+    if any(n.startswith(f) for f in families):
+        continue
+    missing.append(n)
+
+if missing:
+    for n in missing:
+        print(f"undocumented metric: {n} — add it to docs/OBSERVABILITY.md")
+    sys.exit(1)
+print(f"doc coverage OK: {len(published)} published names covered by the catalogue")
+EOF
+
 echo "=== docs: no dead relative links ==="
 fail=0
 for doc in README.md DESIGN.md EXPERIMENTS.md docs/*.md; do
