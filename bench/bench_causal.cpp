@@ -107,12 +107,7 @@ int main(int argc, char** argv) {
   std::vector<campaign::SimJob> jobs;
   for (const char* app : {"TSP", "ASP"}) {
     for (bool optimized : {false, true}) {
-      AppConfig cfg;
-      cfg.clusters = 4;
-      cfg.procs_per_cluster = 4;
-      cfg.net_cfg = net::das_config(4, 4);
-      cfg.optimized = optimized;
-      cfg.seed = seed;
+      AppConfig cfg = make_config(4, 4, optimized, seed);
       cfg.trace.enabled = true;
       if (app == std::string("TSP")) {
         jobs.push_back({[tsp](const AppConfig& c) { return apps::run_tsp(c, tsp); }, cfg});

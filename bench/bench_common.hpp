@@ -23,6 +23,7 @@
 #include "apps/app.hpp"
 #include "campaign/sim_jobs.hpp"
 #include "net/presets.hpp"
+#include "scenario/scenario.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -33,12 +34,22 @@ using apps::AppResult;
 
 using Runner = std::function<AppResult(const AppConfig&)>;
 
+/// The canonical DAS topology, loaded once from the shipped scenario
+/// file — the same bytes alb-trace and the golden tests use, so the
+/// calibration lives in exactly one place (scenarios/das.scn).
+inline const net::TopologyConfig& das_scenario_net() {
+  static const net::TopologyConfig cfg = scenario::load("das").base.net_cfg;
+  return cfg;
+}
+
 inline AppConfig make_config(int clusters, int per_cluster, bool optimized,
                              std::uint64_t seed = 42) {
   AppConfig c;
   c.clusters = clusters;
   c.procs_per_cluster = per_cluster;
-  c.net_cfg = net::das_config(clusters, per_cluster);
+  c.net_cfg = das_scenario_net();
+  c.net_cfg.clusters = clusters;
+  c.net_cfg.nodes_per_cluster = per_cluster;
   c.optimized = optimized;
   c.seed = seed;
   return c;

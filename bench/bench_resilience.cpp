@@ -35,12 +35,7 @@ struct Cell {
 };
 
 AppConfig faulted_config(std::uint64_t seed, const Cell& cell) {
-  AppConfig c;
-  c.clusters = 4;
-  c.procs_per_cluster = 4;
-  c.net_cfg = net::das_config(4, 4);
-  c.optimized = false;
-  c.seed = seed;
+  AppConfig c = make_config(4, 4, false, seed);
   if (cell.loss > 0 || cell.jitter > 0) {
     c.faults.enabled = true;
     c.faults.wan.loss = cell.loss;

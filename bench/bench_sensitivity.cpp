@@ -18,15 +18,16 @@ int main(int argc, char** argv) {
   if (!opts.parse(argc, argv)) return 0;
   const int njobs = static_cast<int>(opts.get_int("jobs"));
 
-  struct WanPoint {
-    const char* name;
-    double rtt_ms;
-    double mbit;
+  // The WAN grid is data, not code: scenarios/sensitivity.scn carries
+  // one labelled [run] per point. The table's rtt/Mbit columns derive
+  // from each run's WAN link (one-way latency + the fixed 140 us
+  // per-direction path cost, see net::custom_wan_config).
+  const scenario::Scenario sweep = scenario::load("sensitivity");
+  const auto rtt_ms = [](const AppConfig& cfg) {
+    return static_cast<double>(cfg.net_cfg.wan.latency + sim::microseconds(140)) * 2 / 1e6;
   };
-  const WanPoint points[] = {
-      {"LAN-like", 0.5, 100.0},  {"DAS ATM", 2.7, 4.53},
-      {"Internet(Sunday)", 8.0, 1.8}, {"slow (ATPG case)", 10.0, 2.0},
-      {"very slow", 30.0, 1.0},
+  const auto mbit = [](const AppConfig& cfg) {
+    return cfg.net_cfg.wan.bandwidth_bytes_per_sec * 8 / 1e6;
   };
 
   // Per selected app: one baseline + an (orig, opt) pair per WAN point,
@@ -37,10 +38,9 @@ int main(int argc, char** argv) {
     if (opts.get("app") != "all" && entry.name != opts.get("app")) continue;
     selected.push_back(&entry);
     jobs.push_back({entry.run, make_config(1, 1, false)});
-    for (const auto& wp : points) {
-      AppConfig cfg = make_config(4, 15, false);
-      cfg.net_cfg = net::custom_wan_config(4, 15, sim::milliseconds(wp.rtt_ms),
-                                           wp.mbit * 1e6);
+    for (const scenario::RunPlan& plan : sweep.runs) {
+      AppConfig cfg = plan.cfg;
+      cfg.optimized = false;
       jobs.push_back({entry.run, cfg});
       cfg.optimized = true;
       jobs.push_back({entry.run, cfg});
@@ -52,14 +52,14 @@ int main(int argc, char** argv) {
   std::size_t i = 0;
   for (const apps::AppEntry* entry : selected) {
     const AppResult& base = results[i++];
-    for (const auto& wp : points) {
+    for (const scenario::RunPlan& plan : sweep.runs) {
       const AppResult& orig = results[i++];
       const AppResult& opt = results[i++];
       t.row()
           .add(entry->name)
-          .add(wp.name)
-          .add(wp.rtt_ms, 1)
-          .add(wp.mbit, 2)
+          .add(plan.label)
+          .add(rtt_ms(plan.cfg), 1)
+          .add(mbit(plan.cfg), 2)
           .add(static_cast<double>(base.elapsed) / orig.elapsed, 1)
           .add(static_cast<double>(base.elapsed) / opt.elapsed, 1);
     }

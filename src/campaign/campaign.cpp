@@ -26,7 +26,7 @@ namespace detail {
 void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
                  const Options& opts, RunStats* stats) {
   const int workers = resolve_jobs(opts.jobs);
-  std::vector<double> job_seconds(n, 0.0);
+  std::vector<double> job_seconds(n, RunStats::kCancelled);
   std::vector<std::exception_ptr> failures(n);
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> cancelled{false};
@@ -65,6 +65,7 @@ void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
     stats->workers = (n <= 1) ? 1 : std::min<int>(workers, static_cast<int>(n ? n : 1));
     stats->jobs_total = n;
     stats->jobs_run = jobs_run.load(std::memory_order_relaxed);
+    stats->jobs_cancelled = n - stats->jobs_run;
     stats->wall_seconds = seconds_since(t0);
     stats->job_seconds = std::move(job_seconds);
   }

@@ -59,10 +59,17 @@ struct RunStats {
   int workers = 0;            ///< pool size actually used
   std::size_t jobs_total = 0; ///< submitted jobs
   std::size_t jobs_run = 0;   ///< jobs that executed (== total unless a job threw)
+  /// Jobs an earlier failure cancelled before they ran; always
+  /// jobs_run + jobs_cancelled == jobs_total.
+  std::size_t jobs_cancelled = 0;
   double wall_seconds = 0;    ///< submission to last-result wall time
-  /// Per-job execution wall time, in submission order (0 for jobs
-  /// cancelled by an earlier failure).
+  /// Per-job execution wall time, in submission order. Cancelled
+  /// (never-run) jobs hold the kCancelled sentinel, so a genuinely
+  /// instant job (0.0 s) is distinguishable from one that never ran.
   std::vector<double> job_seconds;
+
+  /// job_seconds value marking a job a failure cancelled before it ran.
+  static constexpr double kCancelled = -1.0;
 
   double jobs_per_sec() const {
     return wall_seconds > 0 ? static_cast<double>(jobs_run) / wall_seconds : 0.0;

@@ -59,7 +59,7 @@ Network::Network(sim::Engine& eng, const TopologyConfig& cfg, const FaultPlan& f
         // Charged at the kWanTransfer stage, in the *source* gateway's
         // context — stream = a.
         wan_links_[static_cast<std::size_t>(a) * clusters + b] =
-            std::make_unique<Link>(eng, cfg.wan, fi, LinkClass::Wan, a);
+            std::make_unique<Link>(eng, cfg.wan_between(a, b), fi, LinkClass::Wan, a);
       }
     }
   }
@@ -79,7 +79,7 @@ Network::Network(sim::Engine& eng, const TopologyConfig& cfg, const FaultPlan& f
         if (a == b) continue;
         for (int s = 0; s < wt.streams; ++s) {
           wan_stream_links_[(static_cast<std::size_t>(a) * clusters + b) * wt.streams + s] =
-              std::make_unique<Link>(eng, cfg.wan, fi, LinkClass::Wan, a);
+              std::make_unique<Link>(eng, cfg.wan_between(a, b), fi, LinkClass::Wan, a);
         }
       }
     }
@@ -709,7 +709,7 @@ void Network::flush_combine(ClusterId from, int idx) {
       // Ceil: truncating the tail would push a member a nanosecond
       // past where flat queueing would have delivered it.
       const double tail_ns = static_cast<double>(logical_bytes - prefix) /
-                             cfg_.wan.bandwidth_bytes_per_sec * 1e9;
+                             cfg_.wan_between(from, to).bandwidth_bytes_per_sec * 1e9;
       at = arrival - static_cast<sim::SimTime>(std::ceil(tail_ns));
     }
     m.stage = HopStage::kGatewayEgress;

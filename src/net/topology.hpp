@@ -7,9 +7,12 @@
 // and point-to-point WAN circuits (ATM PVCs) between every pair of
 // gateways.
 
+#include <algorithm>
 #include <cstddef>
+#include <limits>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "net/node.hpp"
 #include "sim/time.hpp"
@@ -105,6 +108,16 @@ struct WanTransportConfig {
   }
 };
 
+/// Heterogeneous per-pair WAN circuit parameters (MPWide-style path
+/// configuration): replaces the uniform `wan` params for the
+/// (from, to) circuit and its reverse. An empty override list is a
+/// strict no-op — the topology is byte-identical to the uniform one.
+struct WanPairOverride {
+  int from = 0;
+  int to = 0;
+  LinkParams params;
+};
+
 struct TopologyConfig {
   int clusters = 1;
   int nodes_per_cluster = 1;
@@ -127,6 +140,23 @@ struct TopologyConfig {
   /// message combining, framing). Defaults are a strict no-op.
   WanTransportConfig wan_transport;
 
+  /// Heterogeneous per-pair WAN circuits. Each entry replaces `wan`
+  /// for the named cluster pair (both directions); pairs not listed
+  /// keep the uniform `wan` params. Later entries win on duplicates,
+  /// matching last-wins CLI/scenario override semantics.
+  std::vector<WanPairOverride> wan_overrides;
+
+  /// Effective WAN circuit parameters for the (from, to) gateway pair.
+  const LinkParams& wan_between(int from, int to) const {
+    const LinkParams* params = &wan;
+    for (const WanPairOverride& o : wan_overrides) {
+      if ((o.from == from && o.to == to) || (o.from == to && o.to == from)) {
+        params = &o.params;
+      }
+    }
+    return *params;
+  }
+
   /// Throws ConfigError on any out-of-range parameter. Called once by
   /// the Topology constructor; tools call it directly to reject bad
   /// command lines before building a network.
@@ -143,18 +173,41 @@ struct TopologyConfig {
     wan.validate("wan link");
     lan_broadcast.validate("lan broadcast link");
     wan_transport.validate();
+    for (const WanPairOverride& o : wan_overrides) {
+      if (o.from < 0 || o.from >= clusters || o.to < 0 || o.to >= clusters) {
+        throw ConfigError("wan override: cluster pair (" + std::to_string(o.from) + ", " +
+                          std::to_string(o.to) + ") out of range for " + std::to_string(clusters) +
+                          " clusters");
+      }
+      if (o.from == o.to) {
+        throw ConfigError("wan override: cluster pair (" + std::to_string(o.from) + ", " +
+                          std::to_string(o.to) + ") is not intercluster");
+      }
+      o.params.validate("wan override link");
+    }
     if (gateway_forward_overhead < 0) {
       throw ConfigError("topology: gateway_forward_overhead must be non-negative (got " +
                         std::to_string(gateway_forward_overhead) + " ns)");
     }
   }
 
-  /// The smallest latency any cross-cluster effect can travel with: the
-  /// WAN propagation latency (uniform circuits). This is the engine's
-  /// conservative lookahead — a partition may run that far beyond the
-  /// global epoch floor without missing a remote event. Zero on a
-  /// single cluster (no WAN, and no partitioning either).
-  sim::SimTime min_intercluster_latency() const { return clusters > 1 ? wan.latency : 0; }
+  /// The smallest latency any cross-cluster effect can travel with:
+  /// the minimum WAN propagation latency over all circuits (with
+  /// heterogeneous overrides, the fastest pair bounds everyone). This
+  /// is the engine's conservative lookahead — a partition may run that
+  /// far beyond the global epoch floor without missing a remote event.
+  /// Zero on a single cluster (no WAN, and no partitioning either).
+  sim::SimTime min_intercluster_latency() const {
+    if (clusters <= 1) return 0;
+    if (wan_overrides.empty()) return wan.latency;
+    sim::SimTime lo = std::numeric_limits<sim::SimTime>::max();
+    for (int a = 0; a < clusters; ++a) {
+      for (int b = a + 1; b < clusters; ++b) {
+        lo = std::min(lo, wan_between(a, b).latency);
+      }
+    }
+    return lo;
+  }
 };
 
 class Topology {

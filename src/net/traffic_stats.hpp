@@ -87,6 +87,12 @@ class TrafficStats {
 
   const KindCounters& kind(MsgKind k) const { return counters_[index(k)]; }
 
+  // Index-based views for the campaign result cache's text
+  // (de)serialization; not for recording.
+  const KindCounters& kind_at(int k) const { return counters_[k]; }
+  KindCounters& kind_at(int k) { return counters_[k]; }
+  CombinedCounters& combined_mut() { return combined_; }
+
   /// Convenience aggregates used by the table benches. RPC figures fold
   /// requests and replies together (count = requests, bytes = both
   /// directions), matching how the paper reports "# RPC" and "RPC kbyte".

@@ -34,7 +34,13 @@ bool Options::parse(int argc, const char* const* argv) {
     if (it == defs_.end()) {
       std::string known;
       for (const auto& [n, d] : defs_) known += " --" + n;
-      throw std::runtime_error("unknown option --" + key + "; known:" + known);
+      throw OptionError(key, "unknown option --" + key + "; known:" + known);
+    }
+    // A repeated option is a contradiction, not a last-wins: `--seed 1
+    // --seed 2` almost certainly means an edited command line kept a
+    // stale copy, and silently honouring one of them hides that.
+    if (!provided_.insert(key).second) {
+      throw OptionError(key, "option --" + key + " given more than once");
     }
     if (it->second.is_flag) {
       it->second.value = value.value_or("1");
@@ -45,7 +51,7 @@ bool Options::parse(int argc, const char* const* argv) {
       // another option, in which case `--key` was left without a value
       // (e.g. `--seed --trace` must not silently eat `--trace`).
       if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
-        throw std::runtime_error("option --" + key + " needs a value");
+        throw OptionError(key, "option --" + key + " needs a value");
       }
       it->second.value = argv[++i];
     }

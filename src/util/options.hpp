@@ -8,10 +8,27 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace alb::util {
+
+/// A rejected command line (unknown option, missing value, duplicate
+/// occurrence, ...). Derives std::runtime_error so existing catch
+/// sites keep working; the distinct type lets tests assert the parser
+/// (not some downstream code) rejected the input. `option()` names the
+/// offending option without the leading dashes.
+class OptionError : public std::runtime_error {
+ public:
+  OptionError(std::string option, const std::string& msg)
+      : std::runtime_error(msg), option_(std::move(option)) {}
+  const std::string& option() const { return option_; }
+
+ private:
+  std::string option_;
+};
 
 class Options {
  public:
@@ -22,8 +39,15 @@ class Options {
   void define_flag(const std::string& name, const std::string& help);
 
   /// Parses argv. Returns false (after printing usage) if --help was given.
-  /// Throws std::runtime_error on unknown or malformed options.
+  /// Throws OptionError on unknown, malformed or repeated options —
+  /// each option may appear at most once (`--seed 1 --seed 2` is a
+  /// contradiction, not a last-wins).
   bool parse(int argc, const char* const* argv);
+
+  /// True iff `name` appeared on the parsed command line (as opposed to
+  /// holding its default). Lets callers layer CLI-overrides-config
+  /// precedence without sentinel defaults.
+  bool provided(const std::string& name) const { return provided_.count(name) > 0; }
 
   /// True iff the define_flag-registered flag `name` was set. Throws
   /// std::runtime_error for an undefined name and std::logic_error when
@@ -48,6 +72,7 @@ class Options {
     bool is_flag = false;
   };
   std::map<std::string, Def> defs_;
+  std::set<std::string> provided_;
   std::vector<std::string> positional_;
 };
 

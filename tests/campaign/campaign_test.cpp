@@ -115,6 +115,52 @@ TEST(CampaignTest, EmptyCampaignReturnsEmpty) {
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(stats.jobs_total, 0u);
   EXPECT_EQ(stats.jobs_run, 0u);
+  EXPECT_EQ(stats.jobs_cancelled, 0u);
+}
+
+TEST(CampaignTest, CancelledJobsAreAccountedExplicitly) {
+  // An early failure on the sequential path cancels every later job;
+  // the stats must say so explicitly rather than leaving the reader to
+  // subtract, and the per-job times must distinguish "ran in ~0 s"
+  // from "never ran" via the kCancelled sentinel.
+  RunStats stats;
+  std::vector<std::function<int()>> tasks;
+  tasks.push_back([] { return 1; });
+  tasks.push_back([]() -> int { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 6; ++i) tasks.push_back([] { return 0; });
+  EXPECT_THROW({ campaign::run(std::move(tasks), Options{1}, &stats); }, std::runtime_error);
+  EXPECT_EQ(stats.jobs_total, 8u);
+  EXPECT_EQ(stats.jobs_run, 2u);  // the success + the throwing job
+  EXPECT_EQ(stats.jobs_cancelled, 6u);
+  EXPECT_EQ(stats.jobs_run + stats.jobs_cancelled, stats.jobs_total);
+  ASSERT_EQ(stats.job_seconds.size(), 8u);
+  EXPECT_GE(stats.job_seconds[0], 0.0);
+  EXPECT_GE(stats.job_seconds[1], 0.0);
+  for (std::size_t i = 2; i < 8; ++i) {
+    EXPECT_EQ(stats.job_seconds[i], RunStats::kCancelled) << "job " << i;
+  }
+}
+
+TEST(CampaignTest, ParallelFailureKeepsCancellationInvariant) {
+  RunStats stats;
+  std::vector<std::function<int()>> tasks;
+  tasks.push_back([]() -> int { throw std::runtime_error("early"); });
+  for (int i = 0; i < 63; ++i) {
+    tasks.push_back([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return 0;
+    });
+  }
+  EXPECT_THROW({ campaign::run(std::move(tasks), Options{2}, &stats); }, std::runtime_error);
+  EXPECT_EQ(stats.jobs_total, 64u);
+  EXPECT_EQ(stats.jobs_run + stats.jobs_cancelled, stats.jobs_total);
+  EXPECT_GT(stats.jobs_cancelled, 0u);
+  std::size_t sentinels = 0;
+  for (double s : stats.job_seconds) {
+    if (s == RunStats::kCancelled) ++sentinels;
+    else EXPECT_GE(s, 0.0);
+  }
+  EXPECT_EQ(sentinels, stats.jobs_cancelled);
 }
 
 TEST(CampaignTest, StatsCountJobsAndTimes) {

@@ -1,0 +1,368 @@
+// Scenario DSL parser tests: happy paths (presets, link overrides,
+// per-pair WAN, faults, flags, run lists, grids) and every typed error
+// path with its reported position. A scenario either loads completely
+// or throws — no partial config may escape (the config-drift bugfix
+// contract this PR's sweep pins).
+
+#include "scenario/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/presets.hpp"
+
+namespace alb {
+namespace {
+
+using scenario::Scenario;
+using scenario::ScenarioError;
+using Code = scenario::ScenarioError::Code;
+
+/// Parses `text` expecting a ScenarioError; returns it for inspection.
+ScenarioError expect_error(const std::string& text, Code code) {
+  try {
+    (void)scenario::parse(text, "test.scn");
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(static_cast<int>(e.code()), static_cast<int>(code)) << e.what();
+    EXPECT_EQ(e.file(), "test.scn");
+    return e;
+  }
+  ADD_FAILURE() << "parse accepted:\n" << text;
+  return ScenarioError(Code::Io, "", 0, 0, "unreachable");
+}
+
+TEST(ScenarioParser, EmptyTextIsTheDefaultDasRun) {
+  const Scenario sc = scenario::parse("", "empty.scn");
+  EXPECT_EQ(sc.name, "empty");
+  ASSERT_EQ(sc.runs.size(), 1u);
+  EXPECT_EQ(sc.runs[0].label, "empty");
+  EXPECT_TRUE(sc.runs[0].app.empty());
+  // Defaults: the DAS preset at 4x15, original variant, seed 42.
+  const apps::AppConfig& cfg = sc.base;
+  EXPECT_EQ(cfg.clusters, 4);
+  EXPECT_EQ(cfg.procs_per_cluster, 15);
+  EXPECT_FALSE(cfg.optimized);
+  EXPECT_EQ(cfg.seed, 42u);
+  EXPECT_EQ(scenario::canonical_request("TSP", cfg),
+            scenario::canonical_request("TSP", [] {
+              apps::AppConfig c;
+              c.clusters = 4;
+              c.procs_per_cluster = 15;
+              c.net_cfg = net::das_config(4, 15);
+              return c;
+            }()));
+}
+
+TEST(ScenarioParser, PresetsMatchTheHandBuiltConfigs) {
+  const auto base_of = [](const std::string& preset) {
+    return scenario::parse("[topology]\npreset = " + preset + "\n", "p.scn").base;
+  };
+  EXPECT_EQ(scenario::canonical_request("ASP", base_of("internet")),
+            scenario::canonical_request("ASP", [] {
+              apps::AppConfig c;
+              c.clusters = 4;
+              c.procs_per_cluster = 15;
+              c.net_cfg = net::internet_config(4, 15);
+              return c;
+            }()));
+  EXPECT_EQ(scenario::canonical_request("ASP", base_of("slow-wan")),
+            scenario::canonical_request("ASP", [] {
+              apps::AppConfig c;
+              c.clusters = 4;
+              c.procs_per_cluster = 15;
+              c.net_cfg = net::slow_wan_config(4, 15);
+              return c;
+            }()));
+}
+
+TEST(ScenarioParser, UnitSuffixesConvertExactly) {
+  const Scenario sc = scenario::parse(
+      "[link wan]\n"
+      "latency = 1.21ms\n"
+      "bandwidth = 4.53Mbit\n"
+      "overhead = 10us\n",
+      "u.scn");
+  EXPECT_EQ(sc.base.net_cfg.wan.latency, sim::microseconds(1210));
+  EXPECT_EQ(sc.base.net_cfg.wan.bandwidth_bytes_per_sec, 4.53e6 / 8.0);
+  EXPECT_EQ(sc.base.net_cfg.wan.per_message_overhead, sim::microseconds(10));
+}
+
+TEST(ScenarioParser, RttSubtractsTheFixedPathCosts) {
+  // rtt -> one-way must match net::custom_wan_config: rtt/2 - 140us.
+  const Scenario sc = scenario::parse("[link wan]\nrtt = 8ms\n", "r.scn");
+  EXPECT_EQ(sc.base.net_cfg.wan.latency, sim::microseconds(3860));
+  // An rtt below the fixed costs clamps to zero instead of going negative.
+  const Scenario tiny = scenario::parse("[link wan]\nrtt = 100us\n", "r.scn");
+  EXPECT_EQ(tiny.base.net_cfg.wan.latency, 0);
+}
+
+TEST(ScenarioParser, FlagsSectionSetsWideAreaKnobs) {
+  const Scenario sc = scenario::parse(
+      "[flags]\n"
+      "app = ASP\n"
+      "opt = true\n"
+      "coll = tree\n"
+      "wan_streams = 4\n"
+      "combine_bytes = 8192\n"
+      "adapt = on\n"
+      "seed = 7\n",
+      "f.scn");
+  EXPECT_EQ(sc.app, "ASP");
+  EXPECT_TRUE(sc.base.optimized);
+  EXPECT_EQ(sc.base.coll, orca::coll::Mode::Tree);
+  EXPECT_EQ(sc.base.wan_streams, 4);
+  EXPECT_EQ(sc.base.combine_bytes, 8192);
+  EXPECT_TRUE(sc.base.adapt);
+  EXPECT_EQ(sc.base.seed, 7u);
+  ASSERT_EQ(sc.runs.size(), 1u);
+  EXPECT_EQ(sc.runs[0].app, "ASP");
+}
+
+TEST(ScenarioParser, FaultSectionsArmThePlan) {
+  const Scenario sc = scenario::parse(
+      "[faults]\n"
+      "wan.loss = 0.05\n"
+      "wan.latency_jitter = 0.25\n"
+      "recovery.max_attempts = 12\n"
+      "[flap]\n"
+      "from = any\n"
+      "to = any\n"
+      "start = 5ms\n"
+      "end = 25ms\n"
+      "[brownout]\n"
+      "cluster = 1\n"
+      "start = 30ms\n"
+      "end = 50ms\n"
+      "slow_factor = 2.0\n"
+      "extra_loss = 0.05\n",
+      "fa.scn");
+  EXPECT_TRUE(sc.base.faults.enabled);  // armed implicitly by content
+  EXPECT_DOUBLE_EQ(sc.base.faults.wan.loss, 0.05);
+  EXPECT_DOUBLE_EQ(sc.base.faults.wan.latency_jitter, 0.25);
+  EXPECT_EQ(sc.base.faults.recovery.max_attempts, 12);
+  ASSERT_EQ(sc.base.faults.flaps.size(), 1u);
+  EXPECT_EQ(sc.base.faults.flaps[0].from, -1);
+  EXPECT_EQ(sc.base.faults.flaps[0].start, sim::milliseconds(5));
+  ASSERT_EQ(sc.base.faults.brownouts.size(), 1u);
+  EXPECT_EQ(sc.base.faults.brownouts[0].cluster, 1);
+
+  const Scenario off = scenario::parse(
+      "[faults]\nenabled = false\nwan.loss = 0.5\n", "off.scn");
+  EXPECT_FALSE(off.base.faults.enabled);  // explicit off wins
+}
+
+TEST(ScenarioParser, PerPairWanOverrides) {
+  const Scenario sc = scenario::parse(
+      "[topology]\n"
+      "preset = das\n"
+      "clusters = 3\n"
+      "per_cluster = 4\n"
+      "[wan 0-2]\n"
+      "rtt = 8ms\n"
+      "bandwidth = 1.8Mbit\n",
+      "h.scn");
+  const net::TopologyConfig& t = sc.base.net_cfg;
+  ASSERT_EQ(t.wan_overrides.size(), 1u);
+  // The override applies symmetrically; unlisted pairs keep the base.
+  EXPECT_EQ(t.wan_between(0, 2).latency, sim::microseconds(3860));
+  EXPECT_EQ(t.wan_between(2, 0).latency, sim::microseconds(3860));
+  EXPECT_EQ(t.wan_between(0, 1).latency, sim::microseconds(1210));
+  // Unspecified keys of an overridden pair keep the base circuit's.
+  EXPECT_EQ(t.wan_between(0, 2).per_message_overhead, t.wan.per_message_overhead);
+  // Conservative lookahead tightens to the fastest circuit.
+  EXPECT_EQ(t.min_intercluster_latency(), sim::microseconds(1210));
+}
+
+TEST(ScenarioParser, GridExpandsFirstKeySlowest) {
+  const Scenario sc = scenario::parse(
+      "[topology]\nclusters = 2\nper_cluster = 2\n"
+      "[grid]\n"
+      "opt = 0, 1\n"
+      "seed = 42, 43, 44\n",
+      "g.scn");
+  ASSERT_EQ(sc.runs.size(), 6u);
+  EXPECT_EQ(sc.runs[0].label, "opt=0,seed=42");
+  EXPECT_EQ(sc.runs[1].label, "opt=0,seed=43");
+  EXPECT_EQ(sc.runs[2].label, "opt=0,seed=44");
+  EXPECT_EQ(sc.runs[3].label, "opt=1,seed=42");
+  EXPECT_EQ(sc.runs[5].label, "opt=1,seed=44");
+  EXPECT_FALSE(sc.runs[0].cfg.optimized);
+  EXPECT_TRUE(sc.runs[3].cfg.optimized);
+  EXPECT_EQ(sc.runs[4].cfg.seed, 43u);
+}
+
+TEST(ScenarioParser, RunListAppliesOverridesPerRun) {
+  const Scenario sc = scenario::parse(
+      "[run]\nlabel = a\nrtt = 8ms\nbandwidth = 1.8Mbit\n"
+      "[run]\nopt = 1\n",
+      "rl.scn");
+  ASSERT_EQ(sc.runs.size(), 2u);
+  EXPECT_EQ(sc.runs[0].label, "a");
+  EXPECT_EQ(sc.runs[0].cfg.net_cfg.wan.latency, sim::microseconds(3860));
+  EXPECT_EQ(sc.runs[1].label, "run1");  // default label by index
+  EXPECT_TRUE(sc.runs[1].cfg.optimized);
+  // The second run keeps the base WAN — overrides never leak across runs.
+  EXPECT_EQ(sc.runs[1].cfg.net_cfg.wan.latency, sim::microseconds(1210));
+}
+
+// --- error paths, each with the typed code and reported position -----
+
+TEST(ScenarioParserErrors, UnknownSection) {
+  const ScenarioError e = expect_error("[bogus]\n", Code::UnknownSection);
+  EXPECT_EQ(e.line(), 1);
+  EXPECT_EQ(e.col(), 1);
+  EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+}
+
+TEST(ScenarioParserErrors, UnknownKeyNamesSectionAndPosition) {
+  const ScenarioError e =
+      expect_error("[topology]\npreset = das\nfoo = 1\n", Code::UnknownKey);
+  EXPECT_EQ(e.line(), 3);
+  EXPECT_EQ(e.col(), 1);
+  EXPECT_NE(std::string(e.what()).find("'foo'"), std::string::npos);
+  EXPECT_NE(std::string(e.what()).find("[topology]"), std::string::npos);
+}
+
+TEST(ScenarioParserErrors, BadUnitSuffix) {
+  // A bare duration (other than 0) must not guess its unit.
+  const ScenarioError e = expect_error("[link wan]\nlatency = 5\n", Code::BadUnit);
+  EXPECT_EQ(e.line(), 2);
+  EXPECT_EQ(e.col(), 11);  // points at the value
+  const ScenarioError b =
+      expect_error("[link wan]\nbandwidth = 4.53MB\n", Code::BadUnit);
+  EXPECT_EQ(b.line(), 2);
+}
+
+TEST(ScenarioParserErrors, OutOfRangeLinkParams) {
+  const ScenarioError neg =
+      expect_error("[link wan]\nlatency = -5us\n", Code::OutOfRange);
+  EXPECT_EQ(neg.line(), 2);
+  const ScenarioError bw =
+      expect_error("[link wan]\nbandwidth = 0bit\n", Code::OutOfRange);
+  EXPECT_EQ(bw.line(), 2);
+  expect_error("[faults]\nwan.loss = 1.5\n", Code::OutOfRange);
+  expect_error("[flags]\nwan_streams = 65\n", Code::OutOfRange);
+}
+
+TEST(ScenarioParserErrors, UndefinedClusterReference) {
+  const ScenarioError wan = expect_error(
+      "[topology]\nclusters = 2\nper_cluster = 2\n[wan 0-2]\nlatency = 1ms\n",
+      Code::UndefinedCluster);
+  EXPECT_EQ(wan.line(), 4);
+  const ScenarioError bo = expect_error(
+      "[topology]\nclusters = 2\nper_cluster = 2\n"
+      "[brownout]\ncluster = 5\nstart = 1ms\nend = 2ms\n",
+      Code::UndefinedCluster);
+  EXPECT_EQ(bo.line(), 5);
+}
+
+TEST(ScenarioParserErrors, GridExpansionOverCapFailsLoudly) {
+  std::string grid = "[grid]\nseed = 0";
+  for (int i = 1; i < 70; ++i) grid += ", " + std::to_string(i);
+  grid += "\nwan_streams = 1";
+  for (int i = 2; i <= 64; ++i) grid += ", " + std::to_string(i % 64 + 1);
+  grid += "\n";  // 70 x 64 = 4480 > 4096
+  const ScenarioError e = expect_error(grid, Code::GridTooLarge);
+  EXPECT_NE(std::string(e.what()).find("4480"), std::string::npos);
+  EXPECT_NE(std::string(e.what()).find("4096"), std::string::npos);
+}
+
+TEST(ScenarioParserErrors, RunAndGridAreMutuallyExclusive) {
+  expect_error("[run]\nopt = 1\n[grid]\nseed = 1, 2\n", Code::Conflict);
+}
+
+TEST(ScenarioParserErrors, DuplicateKeyAndSection) {
+  const ScenarioError key =
+      expect_error("[topology]\nclusters = 2\nclusters = 4\n", Code::DuplicateKey);
+  EXPECT_EQ(key.line(), 3);
+  EXPECT_NE(std::string(key.what()).find("line 2"), std::string::npos);
+  expect_error("[topology]\n[topology]\n", Code::DuplicateKey);
+  expect_error("[link wan]\nrtt = 1ms\n[link wan]\nrtt = 2ms\n", Code::DuplicateKey);
+  expect_error("[wan 0-1]\nrtt = 1ms\n[wan 1-0]\nrtt = 2ms\n", Code::DuplicateKey);
+}
+
+TEST(ScenarioParserErrors, SyntaxErrors) {
+  expect_error("key = 1\n", Code::Syntax);          // key before any section
+  expect_error("[topology]\nnot a pair\n", Code::Syntax);
+  expect_error("[topology\n", Code::Syntax);        // unterminated header
+  expect_error("[wan zero-one]\nrtt = 1ms\n", Code::Syntax);
+  expect_error("[wan 0]\nrtt = 1ms\n", Code::Syntax);
+}
+
+TEST(ScenarioParserErrors, BadValues) {
+  expect_error("[topology]\npreset = atm\n", Code::BadValue);
+  expect_error("[flags]\ncoll = ring\n", Code::BadValue);
+  expect_error("[flags]\nopt = maybe\n", Code::BadValue);
+  expect_error("[grid]\nseed = 1,,2\n", Code::BadValue);  // empty item
+  expect_error("[grid]\n", Code::BadValue);               // no axes
+  expect_error("[link dialup]\nrtt = 1ms\n", Code::BadValue);
+}
+
+TEST(ScenarioParserErrors, GridRejectsLabel) {
+  expect_error("[grid]\nlabel = a, b\n", Code::UnknownKey);
+}
+
+TEST(ScenarioParserErrors, FlagsRejectsTopologyOverrides) {
+  expect_error("[flags]\nclusters = 2\n", Code::UnknownKey);
+  expect_error("[flags]\nrtt = 1ms\n", Code::UnknownKey);
+  expect_error("[flags]\nlabel = x\n", Code::UnknownKey);
+}
+
+TEST(ScenarioParserErrors, RunLevelTopologyValidationFailure) {
+  // A [run] that shrinks the topology under an override pair must fail
+  // at parse time, not at simulation time.
+  const ScenarioError e = expect_error(
+      "[topology]\nclusters = 4\nper_cluster = 2\n"
+      "[wan 2-3]\nrtt = 8ms\n"
+      "[run]\nlabel = small\nclusters = 2\n",
+      Code::OutOfRange);
+  EXPECT_NE(std::string(e.what()).find("small"), std::string::npos);
+}
+
+TEST(ScenarioParserErrors, FlapWindowMustBeOrdered) {
+  expect_error("[flap]\nfrom = any\nto = any\nstart = 5ms\nend = 5ms\n",
+               Code::OutOfRange);
+}
+
+// --- file loading ----------------------------------------------------
+
+TEST(ScenarioLoad, MissingFileIsTypedIo) {
+  try {
+    (void)scenario::load("/nonexistent/nope.scn");
+    FAIL() << "load accepted a missing file";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(static_cast<int>(e.code()), static_cast<int>(Code::Io));
+  }
+}
+
+TEST(ScenarioLoad, ShippedScenariosAllParse) {
+  for (const char* name : {"das", "internet", "slow-wan", "sensitivity",
+                           "faults-preset", "hetero3", "sweep-demo"}) {
+    const Scenario sc = scenario::load(name);
+    EXPECT_EQ(sc.name, name);
+    EXPECT_GE(sc.runs.size(), 1u) << name;
+  }
+  EXPECT_EQ(scenario::load("sensitivity").runs.size(), 5u);
+  EXPECT_EQ(scenario::load("sweep-demo").runs.size(), 6u);
+  EXPECT_EQ(scenario::load("hetero3").base.net_cfg.wan_overrides.size(), 3u);
+}
+
+TEST(ScenarioCanonicalRequest, IsStableAndDiscriminating) {
+  const apps::AppConfig base = scenario::load("das").base;
+  const std::string a = scenario::canonical_request("TSP", base);
+  EXPECT_EQ(a, scenario::canonical_request("TSP", base));  // deterministic
+  apps::AppConfig other = base;
+  other.seed = 43;
+  EXPECT_NE(a, scenario::canonical_request("TSP", other));
+  EXPECT_NE(a, scenario::canonical_request("ASP", base));
+  // partitions/threads/trace are pinned output-neutral: same address.
+  apps::AppConfig repart = base;
+  repart.partitions = 2;
+  repart.threads = 3;
+  repart.trace.enabled = true;
+  EXPECT_EQ(a, scenario::canonical_request("TSP", repart));
+}
+
+}  // namespace
+}  // namespace alb

@@ -182,6 +182,82 @@ TEST(Options, UnknownOptionMessageListsKnown) {
   }
 }
 
+TEST(Options, DuplicateFlagThrowsTypedError) {
+  Options o;
+  o.define_flag("csv", "emit csv");
+  const char* argv[] = {"prog", "--csv", "--csv"};
+  try {
+    o.parse(3, argv);
+    FAIL() << "parse accepted a repeated flag";
+  } catch (const OptionError& e) {
+    EXPECT_EQ(e.option(), "csv");
+    EXPECT_NE(std::string(e.what()).find("--csv"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("more than once"), std::string::npos);
+  }
+}
+
+TEST(Options, DuplicateValuedOptionThrowsTypedError) {
+  Options o;
+  o.define("seed", "42", "rng seed");
+  // `--seed 1 --seed 2` is a contradiction, not a last-wins.
+  const char* argv[] = {"prog", "--seed", "1", "--seed", "2"};
+  try {
+    o.parse(5, argv);
+    FAIL() << "parse accepted a repeated option";
+  } catch (const OptionError& e) {
+    EXPECT_EQ(e.option(), "seed");
+    EXPECT_NE(std::string(e.what()).find("--seed"), std::string::npos);
+  }
+}
+
+TEST(Options, DuplicateAcrossEqualsAndSpaceFormsThrows) {
+  Options o;
+  o.define("seed", "42", "rng seed");
+  const char* argv[] = {"prog", "--seed=1", "--seed", "2"};
+  EXPECT_THROW(o.parse(4, argv), OptionError);
+}
+
+TEST(Options, MissingValueIsTypedAndNamesTheOption) {
+  Options o;
+  o.define("seed", "42", "rng seed");
+  o.define_flag("trace", "enable tracing");
+  // `--seed --trace` must still be "missing value", never "duplicate",
+  // and must carry the option name in the typed error.
+  const char* argv[] = {"prog", "--seed", "--trace"};
+  try {
+    o.parse(3, argv);
+    FAIL() << "parse accepted '--seed --trace'";
+  } catch (const OptionError& e) {
+    EXPECT_EQ(e.option(), "seed");
+    EXPECT_NE(std::string(e.what()).find("needs a value"), std::string::npos);
+  }
+}
+
+TEST(Options, UnknownOptionIsTyped) {
+  Options o;
+  o.define("nodes", "8", "node count");
+  const char* argv[] = {"prog", "--bogus=1"};
+  try {
+    o.parse(2, argv);
+    FAIL() << "parse accepted --bogus";
+  } catch (const OptionError& e) {
+    EXPECT_EQ(e.option(), "bogus");
+  }
+}
+
+TEST(Options, ProvidedTracksExplicitArgumentsOnly) {
+  Options o;
+  o.define("seed", "42", "rng seed");
+  o.define("nodes", "8", "node count");
+  o.define_flag("csv", "emit csv");
+  const char* argv[] = {"prog", "--seed=7", "--csv"};
+  ASSERT_TRUE(o.parse(3, argv));
+  EXPECT_TRUE(o.provided("seed"));
+  EXPECT_TRUE(o.provided("csv"));
+  EXPECT_FALSE(o.provided("nodes"));  // default applied, not provided
+  EXPECT_FALSE(o.provided("bogus"));
+}
+
 TEST(Stats, MeanAndStdev) {
   std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
   EXPECT_DOUBLE_EQ(mean(xs), 5.0);

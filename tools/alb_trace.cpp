@@ -21,7 +21,7 @@
 
 #include "apps/app.hpp"
 #include "net/fault.hpp"
-#include "net/presets.hpp"
+#include "scenario/scenario.hpp"
 #include "trace/causal/causal.hpp"
 #include "trace/chrome_trace.hpp"
 #include "util/options.hpp"
@@ -40,24 +40,6 @@ struct Phase {
   std::uint64_t bcasts = 0;
   std::uint64_t rpcs = 0;
 };
-
-/// The --faults preset: a representative WAN weather pattern covering
-/// every injector mechanism (probabilistic loss, latency + bandwidth
-/// jitter, one link flap, one gateway brown-out) with the default
-/// recovery parameters. docs/RESILIENCE.md documents each knob.
-net::FaultPlan fault_preset() {
-  net::FaultPlan p;
-  p.enabled = true;
-  p.wan.loss = 0.05;
-  p.wan.latency_jitter = 0.25;
-  p.wan.bandwidth_jitter = 0.25;
-  // All WAN circuits unreachable for 20 ms early in the run; stream
-  // traffic is held and released when the window closes.
-  p.flaps.push_back({-1, -1, sim::milliseconds(5), sim::milliseconds(25)});
-  // Cluster 1's gateway degraded for 20 ms: half speed, extra loss.
-  p.brownouts.push_back({1, sim::milliseconds(30), sim::milliseconds(50), 2.0, 0.05});
-  return p;
-}
 
 std::vector<Phase> split_phases(const trace::Trace& tr) {
   std::vector<Phase> phases(1);
@@ -85,6 +67,11 @@ int main(int argc, char** argv) {
   using namespace alb;
   util::Options opts;
   opts.define("app", "TSP", "app name from the registry (Water, TSP, ASP, ATPG, IDA*, RA, ACP, SOR)");
+  opts.define("scenario", "das",
+              "scenario providing topology, faults and wide-area flags: a name "
+              "resolved under the shipped scenarios/ directory or a path to a "
+              ".scn file (docs/SCENARIOS.md); explicit CLI options override it");
+  opts.define("run", "0", "which expanded run of the scenario to execute (see [run]/[grid])");
   opts.define("clusters", "4", "number of clusters");
   opts.define("per", "15", "processes per cluster");
   opts.define_flag("opt", "run the wide-area-optimized variant");
@@ -131,20 +118,33 @@ int main(int argc, char** argv) {
   std::vector<trace::causal::Scenario> scenarios;
   try {
     if (!opts.parse(argc, argv)) return 0;
+    // The scenario file is the base configuration; every explicitly
+    // passed CLI option overrides the matching scenario value, so
+    // `alb-trace` with no arguments is still the canonical DAS run.
+    const scenario::Scenario sc = scenario::load(opts.get("scenario"));
+    const long long run_index = opts.get_int("run");
+    if (run_index < 0 || static_cast<std::size_t>(run_index) >= sc.runs.size()) {
+      throw std::runtime_error("--run must be in [0, " + std::to_string(sc.runs.size() - 1) +
+                               "] for scenario '" + sc.name + "' (got " +
+                               std::to_string(run_index) + ")");
+    }
+    const scenario::RunPlan& plan = sc.runs[static_cast<std::size_t>(run_index)];
+    cfg = plan.cfg;
+    std::string app_name = opts.get("app");
+    if (!opts.provided("app") && !plan.app.empty()) app_name = plan.app;
     for (const auto& e : apps::registry()) {
-      if (e.name == opts.get("app")) entry = &e;
+      if (e.name == app_name) entry = &e;
     }
     if (!entry) {
-      std::cerr << "unknown app '" << opts.get("app") << "'; registry:";
+      std::cerr << "unknown app '" << app_name << "'; registry:";
       for (const auto& e : apps::registry()) std::cerr << ' ' << e.name;
       std::cerr << '\n';
       return 1;
     }
-    cfg.clusters = static_cast<int>(opts.get_int("clusters"));
-    cfg.procs_per_cluster = static_cast<int>(opts.get_int("per"));
-    cfg.net_cfg = net::das_config(cfg.clusters, cfg.procs_per_cluster);
-    cfg.optimized = opts.has_flag("opt");
-    cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+    if (opts.provided("clusters")) cfg.clusters = static_cast<int>(opts.get_int("clusters"));
+    if (opts.provided("per")) cfg.procs_per_cluster = static_cast<int>(opts.get_int("per"));
+    if (opts.has_flag("opt")) cfg.optimized = true;
+    if (opts.provided("seed")) cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed"));
     cfg.partitions = static_cast<int>(opts.get_int("partitions"));
     if (cfg.partitions < 1 || cfg.partitions > cfg.clusters) {
       throw std::runtime_error("--partitions must be in [1, clusters] (got " +
@@ -156,29 +156,39 @@ int main(int argc, char** argv) {
       throw std::runtime_error("--threads must be >= 0 (got " +
                                std::to_string(cfg.threads) + ")");
     }
-    if (const std::string& c = opts.get("coll"); c == "tree") {
-      cfg.coll = orca::coll::Mode::Tree;
-    } else if (c != "flat") {
-      throw std::runtime_error("--coll must be 'flat' or 'tree' (got '" + c + "')");
+    if (opts.provided("coll")) {
+      if (const std::string& c = opts.get("coll"); c == "tree") {
+        cfg.coll = orca::coll::Mode::Tree;
+      } else if (c == "flat") {
+        cfg.coll = orca::coll::Mode::Flat;
+      } else {
+        throw std::runtime_error("--coll must be 'flat' or 'tree' (got '" + c + "')");
+      }
     }
-    const long long streams = opts.get_int("wan-streams");
-    if (streams < 1 || streams > 64) {
-      throw std::runtime_error("--wan-streams must be in [1, 64] (got " +
-                               std::to_string(streams) + ")");
+    if (opts.provided("wan-streams")) {
+      const long long streams = opts.get_int("wan-streams");
+      if (streams < 1 || streams > 64) {
+        throw std::runtime_error("--wan-streams must be in [1, 64] (got " +
+                                 std::to_string(streams) + ")");
+      }
+      cfg.wan_streams = static_cast<int>(streams);
     }
-    cfg.wan_streams = static_cast<int>(streams);
-    const long long combine = opts.get_int("combine-bytes");
-    if (combine < -1 || combine > (1ll << 30)) {
-      throw std::runtime_error("--combine-bytes must be in [-1, 2^30] (got " +
-                               std::to_string(combine) + ")");
+    if (opts.provided("combine-bytes")) {
+      const long long combine = opts.get_int("combine-bytes");
+      if (combine < -1 || combine > (1ll << 30)) {
+        throw std::runtime_error("--combine-bytes must be in [-1, 2^30] (got " +
+                                 std::to_string(combine) + ")");
+      }
+      cfg.combine_bytes = combine;
     }
-    cfg.combine_bytes = combine;
-    cfg.adapt = opts.has_flag("adapt");
+    if (opts.has_flag("adapt")) cfg.adapt = true;
     cfg.trace.enabled = true;
     cfg.trace.capacity = static_cast<std::size_t>(opts.get_int("capacity"));
     cfg.trace.engine_events = opts.has_flag("engine-events");
+    // --faults layers the shipped representative WAN weather pattern
+    // (scenarios/faults-preset.scn) on top of whatever the scenario set.
     faults = opts.has_flag("faults");
-    if (faults) cfg.faults = fault_preset();
+    if (faults) cfg.faults = scenario::load("faults-preset").base.faults;
     if (const std::string& spec = opts.get("what-if"); !spec.empty()) {
       if (spec == "std") {
         scenarios = trace::causal::standard_scenarios(cfg.net_cfg);

@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
 """Compare a bench_engine JSON result against a tracked baseline.
 
-Matches benches by name and fails (exit 1) if any bench's events_per_sec
-regressed by more than the tolerance fraction versus the baseline.
-Benches present on only one side are reported but are not failures, so
-adding a microbench does not break the gate retroactively.
+Matches benches by name and fails (exit 1) only if a bench's
+events_per_sec regressed by more than the tolerance fraction versus a
+baseline value that actually exists. Everything else — a bench present
+on only one side, a record without the metric, a zero baseline — is
+reported ("new (unpinned)", "missing", ...) but is never a failure, so
+adding a microbench or an extra JSON field cannot break the gate
+retroactively. Unreadable or malformed input files exit nonzero with a
+message naming the file, never a bare traceback.
 
 Usage:
   tools/bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.25]
@@ -18,11 +22,33 @@ import argparse
 import json
 import sys
 
+METRIC = "events_per_sec"
+
 
 def load_benches(path):
-    with open(path) as f:
-        doc = json.load(f)
-    return {b["name"]: b for b in doc.get("benches", [])}
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise SystemExit(f"bench_compare: cannot read {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"bench_compare: {path} is not valid JSON: {e}")
+    benches = doc.get("benches")
+    if not isinstance(benches, list):
+        raise SystemExit(
+            f"bench_compare: {path} has no 'benches' list — is it a bench_engine result?")
+    out = {}
+    for b in benches:
+        if isinstance(b, dict) and "name" in b:
+            out[b["name"]] = b
+    return out
+
+
+def metric(record):
+    """The compared metric, or None when the record does not carry it
+    (an older baseline, a renamed field): absence is not a regression."""
+    v = record.get(METRIC) if record is not None else None
+    return v if isinstance(v, (int, float)) else None
 
 
 def main():
@@ -39,19 +65,26 @@ def main():
     rows = []
     failed = []
     for name in sorted(set(base) | set(cur)):
-        if name not in base:
-            rows.append((name, None, cur[name]["events_per_sec"], None, "new"))
-            continue
+        b = metric(base.get(name))
+        c = metric(cur.get(name))
         if name not in cur:
-            rows.append((name, base[name]["events_per_sec"], None, None, "missing"))
+            rows.append((name, b, None, None, "missing from current"))
             continue
-        b = base[name]["events_per_sec"]
-        c = cur[name]["events_per_sec"]
-        ratio = c / b if b else float("inf")
+        if c is None:
+            rows.append((name, b, None, None, f"current lacks {METRIC}"))
+            continue
+        if name not in base or b is None:
+            # Nothing to hold it against: report, never fail.
+            rows.append((name, None, c, None, "new (unpinned)"))
+            continue
+        if b <= 0:
+            rows.append((name, b, c, None, "baseline not positive (unpinned)"))
+            continue
+        ratio = c / b
         ok = ratio >= 1.0 - args.tolerance
         rows.append((name, b, c, ratio, "ok" if ok else "REGRESSED"))
         if not ok:
-            failed.append(name)
+            failed.append(f"{name} ({ratio:.2f}x)")
 
     w = max(len(r[0]) for r in rows) if rows else 4
     print(f"{'bench':{w}}  {'base ev/s':>12}  {'cur ev/s':>12}  {'ratio':>6}  verdict")

@@ -248,6 +248,44 @@ echo "=== perf gate: bench_adaptive vs tracked baseline ==="
 python3 tools/bench_compare.py results/BENCH_adaptive.baseline.json \
   build-release/BENCH_adaptive.gate.json
 
+echo "=== scenario DSL: validate, heterogeneous lookahead, cached-sweep identity ==="
+# Every shipped .scn must parse cleanly (typed errors abort here); the
+# absolute goldens pinning scenario-loaded configs to the historical
+# hand-built ones run as test_scenario in both ctest passes above.
+./build-release/tools/alb-serve --validate scenarios
+# Heterogeneous per-pair WAN circuits: the conservative lookahead must
+# tighten to the fastest circuit, so partitioned execution stays
+# byte-identical on a topology where the pairs differ.
+./build-release/tools/alb-trace --scenario hetero3 --app ASP --csv \
+  --partitions 1 > build-release/alb-trace.hetero.p1.csv
+./build-release/tools/alb-trace --scenario hetero3 --app ASP --csv \
+  --partitions 3 > build-release/alb-trace.hetero.p3.csv
+diff build-release/alb-trace.hetero.p1.csv build-release/alb-trace.hetero.p3.csv \
+  || { echo "hetero3 partitioned run differs from sequential reference"; exit 1; }
+# The cache contract, end to end: the sweep-demo grid must produce the
+# same bytes fresh at any --jobs value, and a repeat against a warm
+# cache must be answered entirely from it (zero re-simulation) — still
+# byte-identical.
+printf 'sweep-demo\ndas app=ASP clusters=2 per=2\n' > build-release/scn.requests
+rm -rf build-release/scn-cache
+./build-release/tools/alb-serve --requests build-release/scn.requests \
+  --cache-dir build-release/scn-cache --jobs 4 \
+  > build-release/alb-serve.j4.out 2> build-release/alb-serve.j4.err
+./build-release/tools/alb-serve --requests build-release/scn.requests \
+  --jobs 1 > build-release/alb-serve.j1.out 2> build-release/alb-serve.j1.err
+diff build-release/alb-serve.j4.out build-release/alb-serve.j1.out \
+  || { echo "alb-serve: --jobs 4 output differs from --jobs 1"; exit 1; }
+./build-release/tools/alb-serve --requests build-release/scn.requests \
+  --cache-dir build-release/scn-cache --jobs 4 \
+  > build-release/alb-serve.cached.out 2> build-release/alb-serve.cached.err
+diff build-release/alb-serve.j4.out build-release/alb-serve.cached.out \
+  || { echo "alb-serve: cached sweep differs from fresh sweep"; exit 1; }
+grep -q ' misses=0 ' build-release/alb-serve.cached.err \
+  || { echo "alb-serve: warm-cache pass re-simulated something:"; \
+       cat build-release/alb-serve.cached.err; exit 1; }
+grep -q ' hits=[1-9]' build-release/alb-serve.cached.err \
+  || { echo "alb-serve: warm-cache pass reported no hits"; exit 1; }
+
 echo "=== docs: metric catalogue coverage ==="
 # Every sim/net/orca metric name the source publishes must appear in the
 # OBSERVABILITY.md catalogue (directly, via a `<kind>` template, or
