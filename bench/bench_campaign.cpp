@@ -85,12 +85,14 @@ int main(int argc, char** argv) {
   opts.define("seed", "42", "workload seed");
   opts.define("jobs", "0", "parallel-phase workers (0 = hardware concurrency)");
   opts.define("json", "BENCH_campaign.json", "output path for machine-readable results");
+  telemetry::define_cli_options(opts);
   try {
     if (!opts.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
     std::cerr << "bench_campaign: " << e.what() << "\n";
     return 2;
   }
+  telemetry::enable_from_cli(opts, "bench_campaign");
   const bool quick = opts.has_flag("quick");
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
   const int njobs = static_cast<int>(opts.get_int("jobs"));
@@ -132,5 +134,6 @@ int main(int argc, char** argv) {
   const std::string json = opts.get("json");
   write_json(json, labels, seq, par, same);
   std::cout << "wrote " << json << "\n";
+  if (!telemetry::finish_cli(opts, std::cerr)) return 2;
   return same ? 0 : 1;
 }

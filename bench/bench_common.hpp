@@ -24,6 +24,8 @@
 #include "campaign/sim_jobs.hpp"
 #include "net/presets.hpp"
 #include "scenario/scenario.hpp"
+#include "telemetry/cli.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -168,7 +170,12 @@ inline void print_figure(std::ostream& os, const std::string& title,
   os << "\n";
 }
 
-/// Standard options for figure benches.
+/// Standard options for figure benches. Parsing also wires up the
+/// shared host-telemetry flags (--progress[=N], --telemetry-out, ...);
+/// the destructor writes the telemetry artifacts and emits the final
+/// heartbeat, so every figure bench gets campaign progress reporting
+/// for free. Telemetry sinks are stderr/side files only — bench stdout
+/// (the tables the determinism diffs compare) is unaffected.
 struct FigureOptions {
   util::Options opts;
   bool csv = false;
@@ -182,13 +189,23 @@ struct FigureOptions {
     opts.define("seed", "42", "workload seed");
     opts.define("jobs", "0",
                 "campaign worker threads (0 = hardware concurrency, 1 = sequential)");
+    telemetry::define_cli_options(opts);
     if (!opts.parse(argc, argv)) return false;
     csv = opts.has_flag("csv");
     quick = opts.has_flag("quick");
     seed = static_cast<std::uint64_t>(opts.get_int("seed"));
     jobs = static_cast<int>(opts.get_int("jobs"));
+    telemetry::enable_from_cli(opts, argv && argv[0] ? argv[0] : "bench");
+    parsed_ = true;
     return true;
   }
+
+  ~FigureOptions() {
+    if (parsed_) telemetry::finish_cli(opts, std::cerr);
+  }
+
+ private:
+  bool parsed_ = false;
 };
 
 /// Adds the `--jobs` option to a non-FigureOptions bench.

@@ -41,6 +41,10 @@
 #include <utility>
 #include <vector>
 
+namespace alb::trace {
+class Metrics;
+}
+
 namespace alb::campaign {
 
 /// Scheduling knobs for one campaign.
@@ -74,7 +78,23 @@ struct RunStats {
   double jobs_per_sec() const {
     return wall_seconds > 0 ? static_cast<double>(jobs_run) / wall_seconds : 0.0;
   }
+
+  /// Fraction of the pool's wall-clock capacity spent inside job
+  /// bodies: sum of executed job_seconds / (workers × wall_seconds),
+  /// clamped to [0, 1]. 0 when nothing ran.
+  double utilization() const;
+
+  /// Exact p-th percentile (p in [0, 100]) of the executed jobs'
+  /// wall seconds (cancelled sentinels excluded); 0 when nothing ran.
+  double job_seconds_percentile(double p) const;
 };
+
+/// Publishes `stats` as operator-side campaign/pool.* counters and
+/// gauges. These are wall-clock host values: callers feed them only
+/// into operator registries (alb-serve --metrics-out), never into a
+/// per-run AppResult snapshot — the metric registry's determinism
+/// contract covers simulated values only.
+void publish_pool_metrics(const RunStats& stats, trace::Metrics& m);
 
 namespace detail {
 /// Type-erased scheduler core: invokes body(i) for i in [0, n) across

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "net/traffic_stats.hpp"
+#include "telemetry/telemetry.hpp"
 
 #ifndef ALB_BINARY_VERSION
 #define ALB_BINARY_VERSION "dev"
@@ -218,6 +219,10 @@ std::string ResultCache::key(const std::string& canonical_request) const {
 }
 
 const std::string* ResultCache::lookup_text(const std::string& key) {
+  // Host telemetry reads the wall clock around the lookup; the outcome
+  // and returned bytes are identical with telemetry on or off.
+  telemetry::Collector* tc = telemetry::Collector::active();
+  const std::int64_t t0 = tc ? telemetry::now_ns() : 0;
   auto it = mem_.find(key);
   if (it == mem_.end() && !dir_.empty()) {
     std::ifstream is(dir_ + "/" + key + ".albres", std::ios::binary);
@@ -229,9 +234,11 @@ const std::string* ResultCache::lookup_text(const std::string& key) {
   }
   if (it == mem_.end()) {
     ++stats_.misses;
+    if (tc) tc->record_cache(false, static_cast<std::uint64_t>(telemetry::now_ns() - t0));
     return nullptr;
   }
   ++stats_.hits;
+  if (tc) tc->record_cache(true, static_cast<std::uint64_t>(telemetry::now_ns() - t0));
   return &it->second;
 }
 

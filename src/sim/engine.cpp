@@ -9,6 +9,8 @@
 #include <thread>
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
+
 namespace alb::sim {
 
 /// Friend shim so the detached-wrapper coroutine (an implementation
@@ -308,19 +310,36 @@ std::uint64_t Engine::run_partitioned() {
   bool done = false;
 
   std::barrier bar(T);
+  // Host telemetry: accumulate per-thread wall time spent waiting at
+  // the epoch barrier (the partitioned engine's idle/imbalance signal).
+  // Pure wall-clock accounting into the thread's own ring — no
+  // simulated state is read or written, so the merge stays canonical.
+  telemetry::Collector* tc = telemetry::Collector::active();
   auto worker = [&](int tid) {
     g_current_engine = this;
+    telemetry::ThreadRing* tr = tc ? &tc->ring() : nullptr;
+    auto barrier_wait = [&] {
+      if (tr) {
+        const std::int64_t w0 = telemetry::now_ns();
+        bar.arrive_and_wait();
+        tr->add(telemetry::kBarrierWaitNs,
+                static_cast<std::uint64_t>(telemetry::now_ns() - w0));
+        tr->add(telemetry::kBarrierWaits, 1);
+      } else {
+        bar.arrive_and_wait();
+      }
+    };
     for (;;) {
       for (int p = tid; p < P; p += T) process_epoch(p, horizon);
       g_cur_part = -1;
       g_cur_owner = -1;
-      bar.arrive_and_wait();
+      barrier_wait();
       // Mailbox slot (src, dst) was written by src's thread before the
       // barrier; dst's thread owns it now. Staged events carry their
       // canonical keys, so a plain key-ordered insert IS the
       // deterministic merge.
       for (int p = tid; p < P; p += T) drain_mail(p);
-      bar.arrive_and_wait();
+      barrier_wait();
       if (tid == 0) {
         SimTime f = kNever;
         for (const Partition& pp : parts_) {
@@ -333,7 +352,7 @@ std::uint64_t Engine::run_partitioned() {
           ++epochs_;
         }
       }
-      bar.arrive_and_wait();
+      barrier_wait();
       if (done) return;
     }
   };
@@ -343,7 +362,12 @@ std::uint64_t Engine::run_partitioned() {
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(T - 1));
-    for (int t = 1; t < T; ++t) pool.emplace_back(worker, t);
+    for (int t = 1; t < T; ++t) {
+      pool.emplace_back([&worker, tc, t] {
+        if (tc) tc->label_thread("sim-worker-" + std::to_string(t));
+        worker(t);
+      });
+    }
     worker(0);
     for (std::thread& th : pool) th.join();
   }

@@ -1,0 +1,37 @@
+#pragma once
+// Shared CLI surface for host telemetry, so every tool and bench grows
+// the same four flags with the same semantics:
+//
+//   --progress[=N]     heartbeat JSON lines every N seconds (bare form:
+//                      every 2 s); 0 disables. Sink is stderr or
+//                      --progress-out.
+//   --progress-out=F   write heartbeat lines to F instead of stderr.
+//   --telemetry-out=F  wall-clock Chrome trace of host spans to F.
+//   --telemetry-json=F host telemetry gauge snapshot (JSON) to F.
+//
+// Any of the last three implies enabling the collector; all sinks are
+// outside the determinism firewall (stderr / side files only — never
+// tool stdout).
+
+#include <iosfwd>
+#include <string>
+
+#include "util/options.hpp"
+
+namespace alb::telemetry {
+
+/// Registers the four telemetry options on `opts`.
+void define_cli_options(util::Options& opts);
+
+/// Enables the process-global collector when the parsed flags ask for
+/// any telemetry. Returns true when a collector was enabled.
+bool enable_from_cli(const util::Options& opts, const std::string& job_name);
+
+/// Harvests and writes the --telemetry-out / --telemetry-json artifacts
+/// (paths named on `diag`, which should be stderr — never stdout), then
+/// shuts the collector down (emitting the final heartbeat). No-op when
+/// telemetry was never enabled. Returns false if an output file could
+/// not be opened.
+bool finish_cli(const util::Options& opts, std::ostream& diag);
+
+}  // namespace alb::telemetry

@@ -1,0 +1,37 @@
+#pragma once
+// Host-telemetry exporters.
+//
+// Two sinks for a harvested HostTrace, both wall-clock and both outside
+// the determinism firewall (see telemetry.hpp):
+//
+//   * write_host_chrome_trace — Chrome trace_event JSON for
+//     chrome://tracing / Perfetto, one track per host thread, spans as
+//     complete ("X") events with wall-clock microsecond timestamps.
+//     Distinct from trace::write_chrome_trace (sim-time, async spans):
+//     the host timeline shows where the *machine* spent real time, the
+//     sim timeline shows where the *model* spent simulated time.
+//   * write_host_json — a single JSON snapshot of the derived gauges
+//     (pool utilization, cache latency percentiles, per-thread counters,
+//     RSS) for scripts and the check.sh telemetry stage.
+//
+// Both serialize valid JSON for an empty harvest (no threads, no spans)
+// and for one whose rings overflowed (drops are reported, present spans
+// export normally).
+
+#include <iosfwd>
+
+#include "telemetry/telemetry.hpp"
+
+namespace alb::telemetry {
+
+/// Chrome trace_event JSON: pid 0 "albatross host", tid = thread
+/// registration index (thread_name metadata carries the label), every
+/// span a complete "X" event with ts/dur in fractional microseconds
+/// relative to the earliest harvested span.
+void write_host_chrome_trace(const HostTrace& t, std::ostream& os);
+
+/// One JSON object: totals, pool state/utilization, cache hit/miss
+/// latency percentiles (ns), per-thread span/drop/counter rows, rss_kb.
+void write_host_json(const HostTrace& t, std::ostream& os);
+
+}  // namespace alb::telemetry

@@ -9,11 +9,16 @@ namespace alb::util {
 
 void Options::define(const std::string& name, const std::string& default_value,
                      const std::string& help) {
-  defs_[name] = Def{default_value, help, false};
+  defs_[name] = Def{default_value, help, false, false, ""};
 }
 
 void Options::define_flag(const std::string& name, const std::string& help) {
-  defs_[name] = Def{"0", help, true};
+  defs_[name] = Def{"0", help, true, false, ""};
+}
+
+void Options::define_opt_value(const std::string& name, const std::string& default_value,
+                               const std::string& implicit_value, const std::string& help) {
+  defs_[name] = Def{default_value, help, false, true, implicit_value};
 }
 
 bool Options::parse(int argc, const char* const* argv) {
@@ -46,6 +51,9 @@ bool Options::parse(int argc, const char* const* argv) {
       it->second.value = value.value_or("1");
     } else if (value) {
       it->second.value = *value;
+    } else if (it->second.is_opt_value) {
+      // Bare form: take the implicit value, never the next token.
+      it->second.value = it->second.implicit_value;
     } else {
       // `--key value`: the next argv element is the value — unless it is
       // another option, in which case `--key` was left without a value
@@ -106,7 +114,11 @@ void Options::print_usage(const std::string& program) const {
   std::cout << "usage: " << program << " [options]\n";
   for (const auto& [name, def] : defs_) {
     std::cout << "  --" << name;
-    if (!def.is_flag) std::cout << "=<" << (def.value.empty() ? "value" : def.value) << ">";
+    if (def.is_opt_value) {
+      std::cout << "[=<" << (def.value.empty() ? "value" : def.value) << ">]";
+    } else if (!def.is_flag) {
+      std::cout << "=<" << (def.value.empty() ? "value" : def.value) << ">";
+    }
     std::cout << "\n      " << def.help << "\n";
   }
 }

@@ -37,6 +37,12 @@ class Options {
               const std::string& help);
   /// Registers a boolean flag (default false).
   void define_flag(const std::string& name, const std::string& help);
+  /// Registers an option whose value is optional: bare `--name` means
+  /// `implicit_value`, `--name=V` means V. The bare form never consumes
+  /// the next argv token (`--progress --jobs 4` parses as expected), so
+  /// an explicit value must use the `=` form.
+  void define_opt_value(const std::string& name, const std::string& default_value,
+                        const std::string& implicit_value, const std::string& help);
 
   /// Parses argv. Returns false (after printing usage) if --help was given.
   /// Throws OptionError on unknown, malformed or repeated options —
@@ -70,6 +76,8 @@ class Options {
     std::string value;
     std::string help;
     bool is_flag = false;
+    bool is_opt_value = false;
+    std::string implicit_value;  ///< value of the bare form (opt-value only)
   };
   std::map<std::string, Def> defs_;
   std::set<std::string> provided_;

@@ -39,6 +39,8 @@
 #include "campaign/result_cache.hpp"
 #include "campaign/sim_jobs.hpp"
 #include "scenario/scenario.hpp"
+#include "telemetry/cli.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/metrics.hpp"
 #include "util/options.hpp"
 
@@ -140,6 +142,14 @@ std::string fmt_g(double v) {
   return buf;
 }
 
+/// Exact p-th percentile of `v` (sorted in place); 0 when empty.
+double pct_ms(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t rank = static_cast<std::size_t>(p / 100.0 * static_cast<double>(v.size()));
+  return v[std::min(rank, v.size() - 1)];
+}
+
 int validate_dir(const std::string& dir) {
   namespace fs = std::filesystem;
   std::vector<fs::path> files;
@@ -180,6 +190,7 @@ int main(int argc, char** argv) {
   opts.define("metrics-out", "", "write the cache/serve metrics registry as CSV here");
   opts.define("app", "TSP", "default app when neither the scenario nor the request names one");
   opts.define("validate", "", "parse-validate every .scn under this directory and exit");
+  telemetry::define_cli_options(opts);
 
   try {
     if (!opts.parse(argc, argv)) return 0;
@@ -188,6 +199,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (const std::string& dir = opts.get("validate"); !dir.empty()) return validate_dir(dir);
+
+  // Host telemetry is stderr/side-file-only: stdout stays byte-identical
+  // with telemetry on or off (the check.sh telemetry stage diffs it).
+  telemetry::enable_from_cli(opts, "alb-serve");
+  if (telemetry::Collector* tc = telemetry::Collector::active()) tc->label_thread("serve-main");
+  struct TelemetryGuard {
+    ~TelemetryGuard() { telemetry::Collector::shutdown(); }
+  } telemetry_guard;
 
   std::vector<Unit> units;
   campaign::ResultCache cache(opts.get("cache-dir"));
@@ -204,6 +223,7 @@ int main(int argc, char** argv) {
 
     // Parsed-scenario cache: a request mix repeats a handful of
     // scenarios thousands of times; parse each file once.
+    telemetry::ScopedSpan parse_span("serve.parse");
     std::map<std::string, scenario::Scenario> scenarios;
     std::string line;
     int line_no = 0;
@@ -232,24 +252,36 @@ int main(int argc, char** argv) {
         units.push_back(std::move(u));
       }
     }
+    parse_span.set_arg(request_lines);
   } catch (const std::exception& e) {
     std::cerr << "alb-serve: " << e.what() << '\n';
     return 2;
   }
 
   // Resolve every unit against the cache; simulate each distinct missed
-  // key exactly once, --jobs wide.
+  // key exactly once, --jobs wide. Per-unit lookup wall latency feeds
+  // the hit-side tail-latency percentiles (stderr only).
   std::vector<campaign::SimJob> jobs;
   std::vector<std::string> job_keys;
   std::map<std::string, std::size_t> scheduled;  // key -> jobs index
-  for (Unit& u : units) {
-    if (std::optional<apps::AppResult> hit = cache.lookup(u.key)) {
-      u.result = std::move(*hit);
-      u.resolved = true;
-    } else if (scheduled.find(u.key) == scheduled.end()) {
-      scheduled.emplace(u.key, jobs.size());
-      jobs.push_back(campaign::SimJob{find_app(u.app)->run, u.cfg});
-      job_keys.push_back(u.key);
+  std::vector<double> hit_ms;
+  {
+    telemetry::ScopedSpan resolve_span("serve.resolve", units.size());
+    for (Unit& u : units) {
+      const auto l0 = std::chrono::steady_clock::now();
+      std::optional<apps::AppResult> hit = cache.lookup(u.key);
+      const double ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - l0)
+              .count();
+      if (hit) {
+        hit_ms.push_back(ms);
+        u.result = std::move(*hit);
+        u.resolved = true;
+      } else if (scheduled.find(u.key) == scheduled.end()) {
+        scheduled.emplace(u.key, jobs.size());
+        jobs.push_back(campaign::SimJob{find_app(u.app)->run, u.cfg});
+        job_keys.push_back(u.key);
+      }
     }
   }
 
@@ -258,42 +290,75 @@ int main(int argc, char** argv) {
   campaign::RunStats stats;
   std::vector<apps::AppResult> fresh;
   try {
+    telemetry::ScopedSpan sim_span("serve.simulate", jobs.size());
     fresh = campaign::run_sim_jobs(jobs, copts, &stats);
   } catch (const std::exception& e) {
     std::cerr << "alb-serve: simulation failed: " << e.what() << '\n';
     return 1;
   }
-  for (std::size_t i = 0; i < fresh.size(); ++i) cache.store(job_keys[i], fresh[i]);
+  // A missed unit's wall latency is its simulation job's execution
+  // time (the queueing-free approximation: lookup cost is separate and
+  // negligible next to a simulate).
+  std::vector<double> miss_ms;
+  {
+    telemetry::ScopedSpan store_span("serve.store", fresh.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) cache.store(job_keys[i], fresh[i]);
+  }
   for (Unit& u : units) {
     if (!u.resolved) {
-      u.result = fresh[scheduled.at(u.key)];
+      const std::size_t j = scheduled.at(u.key);
+      u.result = fresh[j];
       u.resolved = true;
+      if (j < stats.job_seconds.size() && stats.job_seconds[j] >= 0) {
+        miss_ms.push_back(stats.job_seconds[j] * 1e3);
+      }
     }
   }
 
   // One line per unit, simulated values only — a hit emits the same
   // bytes a fresh simulation would (the cache round-trips exactly).
-  for (const Unit& u : units) {
-    const apps::AppResult& r = u.result;
-    std::cout << "scenario=" << u.scenario << " run=" << u.label << " app=" << u.app
-              << " key=" << u.key << " elapsed_s=" << fmt_g(sim::to_seconds(r.elapsed))
-              << " checksum=" << r.checksum << " trace_hash=" << r.trace_hash
-              << " events=" << r.events
-              << " status=" << (r.status == apps::AppResult::RunStatus::Ok ? "ok" : "hard_failure")
-              << '\n';
+  {
+    telemetry::ScopedSpan out_span("serve.output", units.size());
+    for (const Unit& u : units) {
+      const apps::AppResult& r = u.result;
+      std::cout << "scenario=" << u.scenario << " run=" << u.label << " app=" << u.app
+                << " key=" << u.key << " elapsed_s=" << fmt_g(sim::to_seconds(r.elapsed))
+                << " checksum=" << r.checksum << " trace_hash=" << r.trace_hash
+                << " events=" << r.events
+                << " status=" << (r.status == apps::AppResult::RunStatus::Ok ? "ok" : "hard_failure")
+                << '\n';
+    }
   }
 
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   const campaign::ResultCache::Stats& cs = cache.stats();
+  // Request latency split hit-vs-miss: a single aggregate wall_s hides
+  // the tail entirely (a 1 ms hit and a 2 s simulate average to
+  // meaninglessness). Percentiles are exact (sorted samples).
   std::cerr << "alb-serve: requests=" << request_lines << " expanded=" << units.size()
             << " hits=" << cs.hits << " misses=" << cs.misses << " stores=" << cs.stores
             << " workers=" << stats.workers << " wall_s=" << fmt_g(wall) << " req_per_min="
-            << fmt_g(wall > 0 ? static_cast<double>(units.size()) / wall * 60.0 : 0.0) << '\n';
+            << fmt_g(wall > 0 ? static_cast<double>(units.size()) / wall * 60.0 : 0.0)
+            << " hit_ms_p50=" << fmt_g(pct_ms(hit_ms, 50))
+            << " hit_ms_p95=" << fmt_g(pct_ms(hit_ms, 95))
+            << " hit_ms_p99=" << fmt_g(pct_ms(hit_ms, 99))
+            << " miss_ms_p50=" << fmt_g(pct_ms(miss_ms, 50))
+            << " miss_ms_p95=" << fmt_g(pct_ms(miss_ms, 95))
+            << " miss_ms_p99=" << fmt_g(pct_ms(miss_ms, 99)) << '\n';
+  // The worker-pool accounting table (campaign/pool.*), stderr only.
+  std::cerr << "alb-serve pool: workers=" << stats.workers << " jobs_total=" << stats.jobs_total
+            << " jobs_run=" << stats.jobs_run << " jobs_cancelled=" << stats.jobs_cancelled
+            << " utilization=" << fmt_g(stats.utilization())
+            << " jobs_per_sec=" << fmt_g(stats.jobs_per_sec())
+            << " job_s_p50=" << fmt_g(stats.job_seconds_percentile(50))
+            << " job_s_p95=" << fmt_g(stats.job_seconds_percentile(95))
+            << " job_s_max=" << fmt_g(stats.job_seconds_percentile(100)) << '\n';
 
   if (const std::string& p = opts.get("metrics-out"); !p.empty()) {
     trace::Metrics m;
     cache.publish_metrics(m);
+    campaign::publish_pool_metrics(stats, m);
     *m.counter("campaign/serve.requests") = request_lines;
     *m.counter("campaign/serve.expanded") = units.size();
     *m.counter("campaign/serve.simulated") = fresh.size();
@@ -305,5 +370,9 @@ int main(int argc, char** argv) {
     m.snapshot().write_csv(os);
     std::cout << "wrote " << p << '\n';
   }
+
+  // Host-telemetry artifacts + final heartbeat; diagnostics on stderr so
+  // stdout stays telemetry-independent.
+  if (!telemetry::finish_cli(opts, std::cerr)) return 1;
   return 0;
 }

@@ -22,6 +22,8 @@
 #include "apps/app.hpp"
 #include "net/fault.hpp"
 #include "scenario/scenario.hpp"
+#include "telemetry/cli.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/causal/causal.hpp"
 #include "trace/chrome_trace.hpp"
 #include "util/options.hpp"
@@ -109,6 +111,7 @@ int main(int argc, char** argv) {
   opts.define("what-if", "",
               "comma-separated what-if scenarios to project (wan-lat-eq-lan, "
               "wan-lat-x<k>, wan-bw-x<k>, seq-local; 'std' = the standard set)");
+  telemetry::define_cli_options(opts);
   opts.define_flag("validate",
                    "re-simulate each validatable what-if scenario and report the "
                    "projection error");
@@ -206,7 +209,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const apps::AppResult r = entry->run(cfg);
+  // Host telemetry (wall-clock; stderr/side files only — stdout is a
+  // pure function of the simulated run, telemetry on or off).
+  telemetry::enable_from_cli(opts, "alb-trace");
+  if (telemetry::Collector* tc = telemetry::Collector::active()) tc->label_thread("trace-main");
+  struct TelemetryGuard {
+    ~TelemetryGuard() { telemetry::Collector::shutdown(); }
+  } telemetry_guard;
+
+  apps::AppResult r;
+  {
+    telemetry::ScopedSpan sim_span("trace.simulate");
+    r = entry->run(cfg);
+  }
   const bool csv = opts.has_flag("csv");
 
   // --- run summary ---------------------------------------------------
@@ -462,17 +477,21 @@ int main(int argc, char** argv) {
     return true;
   };
   bool ok = true;
-  if (const std::string& p = opts.get("trace-out"); !p.empty()) {
-    ok &= write_file(p, [&](std::ostream& os) { trace::write_chrome_trace(*r.trace, os, highlight); });
+  {
+    telemetry::ScopedSpan export_span("trace.export");
+    if (const std::string& p = opts.get("trace-out"); !p.empty()) {
+      ok &= write_file(p, [&](std::ostream& os) { trace::write_chrome_trace(*r.trace, os, highlight); });
+    }
+    if (const std::string& p = opts.get("metrics-out"); !p.empty()) {
+      ok &= write_file(p, [&](std::ostream& os) { r.stats.write_csv(os); });
+    }
+    if (const std::string& p = opts.get("metrics-json"); !p.empty()) {
+      ok &= write_file(p, [&](std::ostream& os) {
+        r.stats.write_json(os);
+        os << "\n";
+      });
+    }
   }
-  if (const std::string& p = opts.get("metrics-out"); !p.empty()) {
-    ok &= write_file(p, [&](std::ostream& os) { r.stats.write_csv(os); });
-  }
-  if (const std::string& p = opts.get("metrics-json"); !p.empty()) {
-    ok &= write_file(p, [&](std::ostream& os) {
-      r.stats.write_json(os);
-      os << "\n";
-    });
-  }
+  ok &= telemetry::finish_cli(opts, std::cerr);
   return ok ? 0 : 1;
 }

@@ -12,6 +12,15 @@ message naming the file, never a bare traceback.
 
 Usage:
   tools/bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.25]
+  tools/bench_compare.py --history results/history.jsonl CURRENT.json
+
+`--history` compares against the recorded trajectory instead of a
+single baseline file: the per-bench reference is the **median**
+events_per_sec of every history record (tools/bench_history.py) with
+the same suite, bench name and hardware_concurrency as the current
+result — machine shape is part of the key, so a laptop run is never
+held against a 64-core trajectory. Benches with no matching history
+are "new (unpinned)", never failures.
 
 The default tolerance is deliberately loose (25%): the gate exists to
 catch "tracing-off suddenly costs something" class regressions, not to
@@ -20,19 +29,24 @@ flake on machine noise.
 
 import argparse
 import json
+import statistics
 import sys
 
 METRIC = "events_per_sec"
 
 
-def load_benches(path):
+def load_doc(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
+            return json.load(f)
     except OSError as e:
         raise SystemExit(f"bench_compare: cannot read {path}: {e.strerror}")
     except json.JSONDecodeError as e:
         raise SystemExit(f"bench_compare: {path} is not valid JSON: {e}")
+
+
+def load_benches(path):
+    doc = load_doc(path)
     benches = doc.get("benches")
     if not isinstance(benches, list):
         raise SystemExit(
@@ -44,6 +58,31 @@ def load_benches(path):
     return out
 
 
+def load_trajectory(path, suite, hw):
+    """Per-bench median of the history records matching (suite, hw).
+    Returns {name: {METRIC: median, "runs": n}}."""
+    samples = {}
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        raise SystemExit(f"bench_compare: cannot read {path}: {e.strerror}")
+    for i, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            r = json.loads(line)
+        except json.JSONDecodeError:
+            raise SystemExit(f"bench_compare: {path}:{i} is not valid JSON")
+        if r.get("suite") != suite or r.get("hardware_concurrency") != hw:
+            continue
+        v = r.get(METRIC)
+        if isinstance(r.get("bench"), str) and isinstance(v, (int, float)):
+            samples.setdefault(r["bench"], []).append(v)
+    return {name: {METRIC: statistics.median(vs), "runs": len(vs)}
+            for name, vs in samples.items()}
+
+
 def metric(record):
     """The compared metric, or None when the record does not carry it
     (an older baseline, a renamed field): absence is not a regression."""
@@ -53,14 +92,29 @@ def metric(record):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("baseline", help="baseline JSON, or (with --history) the current result")
+    ap.add_argument("current", nargs="?", default=None)
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional slowdown in events_per_sec (default 0.25)")
+    ap.add_argument("--history", default=None, metavar="HISTORY.jsonl",
+                    help="compare against the bench_history.py trajectory instead of a baseline file")
     args = ap.parse_args()
 
-    base = load_benches(args.baseline)
-    cur = load_benches(args.current)
+    if args.history:
+        current_path = args.current or args.baseline
+        doc = load_doc(current_path)
+        cur = load_benches(current_path)
+        base = load_trajectory(args.history, doc.get("suite"),
+                               doc.get("hardware_concurrency"))
+        n_runs = max((b["runs"] for b in base.values()), default=0)
+        print(f"trajectory: {args.history}, suite {doc.get('suite')}, "
+              f"hardware_concurrency {doc.get('hardware_concurrency')}, "
+              f"median of up to {n_runs} runs per bench")
+    else:
+        if args.current is None:
+            ap.error("CURRENT.json required unless --history is given")
+        base = load_benches(args.baseline)
+        cur = load_benches(args.current)
 
     rows = []
     failed = []

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Append a bench result JSON to the tracked bench-history trajectory.
+
+Each run of a BENCH_*.json-emitting suite becomes one JSON line per
+bench in results/history.jsonl, keyed by (suite, bench, git rev,
+hardware_concurrency). Re-recording the same key replaces the old line
+(re-running a gate on the same commit refreshes, never duplicates), so
+the file is a trajectory: one point per bench per commit per machine
+shape, consumed by `bench_compare.py --history`.
+
+Usage:
+  tools/bench_history.py RESULT.json [RESULT2.json ...] \
+      [--history results/history.jsonl] [--rev REV]
+
+Records look like:
+  {"suite": "bench_engine", "bench": "event_churn", "rev": "c49da4c",
+   "hardware_concurrency": 8, "recorded": "2026-08-07T12:00:00",
+   "events_per_sec": 6735455, ...}
+
+Suites without a 'benches' list (e.g. bench_campaign) contribute one
+record named like the suite, carrying their top-level numeric scalars
+plus the parallel-phase throughput, so campaign wall-clock health is
+tracked on the same trajectory.
+"""
+
+import argparse
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+
+# Numeric per-bench fields worth tracking; anything else is dropped so
+# history lines stay small and stable.
+BENCH_FIELDS = ("events_per_sec", "ops_per_sec", "ns_per_event", "best_sec",
+                "jobs_per_sec", "wall_seconds")
+
+
+def git_rev():
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def records_from(path, rev, now):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise SystemExit(f"bench_history: cannot read {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"bench_history: {path} is not valid JSON: {e}")
+
+    suite = doc.get("suite") or pathlib.Path(path).stem
+    hw = doc.get("hardware_concurrency")
+    base = {"suite": suite, "rev": rev, "hardware_concurrency": hw,
+            "recorded": now}
+
+    benches = doc.get("benches")
+    records = []
+    if isinstance(benches, list):
+        for b in benches:
+            if not (isinstance(b, dict) and "name" in b):
+                continue
+            rec = dict(base, bench=b["name"])
+            for k in BENCH_FIELDS:
+                if isinstance(b.get(k), (int, float)):
+                    rec[k] = b[k]
+            records.append(rec)
+    else:
+        # Scalar-style suite (bench_campaign): one record named after the
+        # suite, folding in top-level numbers and the parallel phase.
+        rec = dict(base, bench=suite)
+        for k, v in doc.items():
+            if k != "hardware_concurrency" and isinstance(v, (int, float)) \
+                    and not isinstance(v, bool):
+                rec[k] = v
+        par = doc.get("parallel")
+        if isinstance(par, dict):
+            for k in BENCH_FIELDS:
+                if isinstance(par.get(k), (int, float)):
+                    rec[k] = par[k]
+        records.append(rec)
+    if not records:
+        raise SystemExit(f"bench_history: {path} yielded no records")
+    return records
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("results", nargs="+", help="BENCH_*.json files to record")
+    ap.add_argument("--history", default="results/history.jsonl",
+                    help="trajectory file (default results/history.jsonl)")
+    ap.add_argument("--rev", default=None,
+                    help="git revision to key the records by (default: HEAD)")
+    args = ap.parse_args()
+
+    rev = args.rev or git_rev()
+    now = datetime.datetime.now().isoformat(timespec="seconds")
+    fresh = []
+    for path in args.results:
+        fresh.extend(records_from(path, rev, now))
+
+    hist_path = pathlib.Path(args.history)
+    kept = []
+    if hist_path.exists():
+        replaced_keys = {(r["suite"], r["bench"], r["rev"],
+                          r["hardware_concurrency"]) for r in fresh}
+        for i, line in enumerate(hist_path.read_text().splitlines(), 1):
+            if not line.strip():
+                continue
+            try:
+                r = json.loads(line)
+            except json.JSONDecodeError:
+                raise SystemExit(
+                    f"bench_history: {hist_path}:{i} is not valid JSON")
+            key = (r.get("suite"), r.get("bench"), r.get("rev"),
+                   r.get("hardware_concurrency"))
+            if key not in replaced_keys:
+                kept.append(line)
+
+    hist_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(hist_path, "w") as f:
+        for line in kept:
+            f.write(line + "\n")
+        for r in fresh:
+            f.write(json.dumps(r, sort_keys=True) + "\n")
+    print(f"bench_history: {hist_path} now holds {len(kept) + len(fresh)} "
+          f"records ({len(fresh)} recorded at rev {rev})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

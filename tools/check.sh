@@ -61,9 +61,21 @@ echo "=== bench smoke ==="
 
 echo "=== perf gate: bench_engine vs tracked baseline ==="
 # Full (non-smoke) run so the numbers are comparable to the baseline;
-# tolerance lives in bench_compare.py (default 25%).
+# tolerance lives in bench_compare.py (default 25%). bench_engine links
+# the instrumented engine with no collector active, so this gate is
+# also the host-telemetry overhead gate: telemetry compiled in but off
+# must stay within tolerance of the pre-telemetry baseline.
 ./build-release/bench/bench_engine --json build-release/BENCH_engine.gate.json > /dev/null
 python3 tools/bench_compare.py results/BENCH_engine.baseline.json \
+  build-release/BENCH_engine.gate.json
+
+echo "=== perf trajectory: record + compare against bench history ==="
+# Every gate run extends results/history.jsonl (one record per bench,
+# keyed by git rev + hardware_concurrency; same-rev reruns replace),
+# then the run is held against the median of its own trajectory.
+python3 tools/bench_history.py build-release/BENCH_engine.gate.json \
+  --history results/history.jsonl
+python3 tools/bench_compare.py --history results/history.jsonl \
   build-release/BENCH_engine.gate.json
 
 echo "=== observability smoke: traced run + artifact validation ==="
@@ -286,6 +298,78 @@ grep -q ' misses=0 ' build-release/alb-serve.cached.err \
 grep -q ' hits=[1-9]' build-release/alb-serve.cached.err \
   || { echo "alb-serve: warm-cache pass reported no hits"; exit 1; }
 
+echo "=== host telemetry: firewall diff + artifact validation ==="
+# The determinism firewall, end to end: the same run with every
+# telemetry sink armed (fast heartbeat, Chrome trace, JSON snapshot)
+# must produce byte-identical stdout. docs/OBSERVABILITY.md, "Host
+# telemetry"; the unit-level pin is tests/telemetry/firewall_test.cpp.
+./build-release/tools/alb-trace --app ASP --clusters 2 --per 4 --csv \
+  > build-release/alb-trace.tel-off.csv
+./build-release/tools/alb-trace --app ASP --clusters 2 --per 4 --csv \
+  --progress=0.05 --progress-out build-release/alb-trace.heartbeat.jsonl \
+  --telemetry-out build-release/alb-trace.host.trace.json \
+  --telemetry-json build-release/alb-trace.host.json \
+  > build-release/alb-trace.tel-on.csv
+diff build-release/alb-trace.tel-off.csv build-release/alb-trace.tel-on.csv \
+  || { echo "alb-trace: telemetry-on stdout differs from telemetry-off"; exit 1; }
+./build-release/tools/alb-serve --requests build-release/scn.requests \
+  --jobs 4 \
+  --progress=0.05 --progress-out build-release/alb-serve.heartbeat.jsonl \
+  --telemetry-out build-release/alb-serve.host.trace.json \
+  --telemetry-json build-release/alb-serve.host.json \
+  > build-release/alb-serve.tel.out 2> build-release/alb-serve.tel.err
+diff build-release/alb-serve.j4.out build-release/alb-serve.tel.out \
+  || { echo "alb-serve: telemetry-on stdout differs from telemetry-off"; exit 1; }
+grep -q ' hit_ms_p50=' build-release/alb-serve.tel.err \
+  || { echo "alb-serve: summary lacks hit-latency percentiles"; exit 1; }
+grep -q 'pool: workers=' build-release/alb-serve.tel.err \
+  || { echo "alb-serve: summary lacks the pool table"; exit 1; }
+python3 - <<'EOF'
+import json
+
+HEARTBEAT_KEYS = {"type", "job", "seq", "wall_s", "jobs_total", "jobs_done",
+                  "workers", "workers_busy", "worker_state", "jobs_per_min",
+                  "eta_s", "cache_hits", "cache_misses", "spans",
+                  "spans_dropped", "rss_kb", "final"}
+for tool in ("alb-trace", "alb-serve"):
+    records = []
+    with open(f"build-release/{tool}.heartbeat.jsonl") as f:
+        for line in f:
+            if line.strip():
+                records.append(json.loads(line))
+    assert records, f"{tool}: no heartbeat records"
+    for r in records:
+        missing = HEARTBEAT_KEYS - r.keys()
+        assert not missing, f"{tool}: heartbeat lacks {missing}"
+        assert r["type"] == "heartbeat"
+    assert records[-1]["final"] is True, f"{tool}: no final heartbeat"
+
+    host = json.load(open(f"build-release/{tool}.host.trace.json"))
+    events = host["traceEvents"]
+    assert host["otherData"]["clock"] == "wall", f"{tool}: host trace not wall-clock"
+    names = {e["args"]["name"] for e in events if e["ph"] == "M" and e["name"] == "thread_name"}
+    spans = [e for e in events if e["ph"] == "X"]
+    assert spans, f"{tool}: host trace has no spans"
+    assert all(e["dur"] >= 0 for e in spans), f"{tool}: negative span duration"
+
+    snap = json.load(open(f"build-release/{tool}.host.json"))
+    for key in ("wall_s", "pool", "cache", "threads", "spans"):
+        assert key in snap, f"{tool}: snapshot lacks {key}"
+    assert len(snap["threads"]) == len(names), f"{tool}: track/thread count mismatch"
+
+# The serve run sharded over workers: per-thread tracks and the
+# documented span names must be present.
+serve = json.load(open("build-release/alb-serve.host.trace.json"))
+names = {e["args"]["name"] for e in serve["traceEvents"]
+         if e["ph"] == "M" and e["name"] == "thread_name"}
+spans = {e["name"] for e in serve["traceEvents"] if e["ph"] == "X"}
+assert "serve-main" in names, f"missing serve-main track: {names}"
+assert any(n.startswith("campaign-worker-") for n in names), f"no worker tracks: {names}"
+assert {"serve.parse", "serve.resolve", "serve.simulate", "serve.output",
+        "campaign.job"} <= spans, f"missing documented spans: {spans}"
+print(f"telemetry artifacts OK: {len(names)} serve tracks, {len(spans)} span kinds")
+EOF
+
 echo "=== docs: metric catalogue coverage ==="
 # Every sim/net/orca metric name the source publishes must appear in the
 # OBSERVABILITY.md catalogue (directly, via a `<kind>` template, or
@@ -294,11 +378,13 @@ python3 - <<'EOF'
 import pathlib, re, sys
 
 # Metric names the source publishes: string literals shaped like
-# <scope>/<word>... with scope sim|net|orca. Include paths share the
-# shape, so anything ending in a source-file suffix is skipped.
-lit = re.compile(r'"((?:sim|net|orca)/[A-Za-z0-9_.]*)"')
+# <scope>/<word>... with scope sim|net|orca|campaign. Include paths
+# share the shape, so anything ending in a source-file suffix is
+# skipped. tools/ is scanned too: alb-serve publishes campaign/serve.*.
+lit = re.compile(r'"((?:sim|net|orca|campaign)/[A-Za-z0-9_.]*)"')
 published = set()
-for f in pathlib.Path("src").rglob("*.?pp"):
+files = list(pathlib.Path("src").rglob("*.?pp")) + list(pathlib.Path("tools").glob("*.?pp"))
+for f in files:
     for m in lit.finditer(f.read_text()):
         n = m.group(1)
         if n.endswith((".hpp", ".cpp", ".h", ".inc")):
@@ -308,7 +394,7 @@ for f in pathlib.Path("src").rglob("*.?pp"):
 doc = pathlib.Path("docs/OBSERVABILITY.md").read_text()
 exact, families = set(), []
 token = re.compile(r'`([^`]+)`')
-name_like = re.compile(r'(?:sim|net|orca)/[A-Za-z0-9_.<>*]+$')
+name_like = re.compile(r'(?:sim|net|orca|campaign)/[A-Za-z0-9_.<>*]+$')
 for line in doc.splitlines():
     last = None
     for t in token.findall(line):
@@ -342,6 +428,28 @@ if missing:
         print(f"undocumented metric: {n} — add it to docs/OBSERVABILITY.md")
     sys.exit(1)
 print(f"doc coverage OK: {len(published)} published names covered by the catalogue")
+
+# Host-telemetry catalogues: every ScopedSpan name literal and every
+# kCounterNames entry must appear in the OBSERVABILITY.md "Host
+# telemetry" tables — span/counter names are stable identifiers the
+# heartbeat/trace consumers match on.
+span_lit = re.compile(r'ScopedSpan\s+\w+\s*\(\s*"([^"]+)"|ScopedSpan\s*\(\s*"([^"]+)"')
+spans = set()
+for f in files:
+    for m in span_lit.finditer(f.read_text()):
+        spans.add(m.group(1) or m.group(2))
+counters = set(re.findall(r'"([a-z_]+)"', re.search(
+    r'kCounterNames\[kNumCounters\]\s*=\s*\{([^}]*)\}',
+    pathlib.Path("src/telemetry/telemetry.cpp").read_text()).group(1)))
+# Line by line like the catalogue scan above: code fences leave an odd
+# backtick count, which would desynchronize pairing across the document.
+doc_tokens = {t for line in doc.splitlines() for t in token.findall(line)}
+undocd = sorted(n for n in spans | counters if n not in doc_tokens)
+if undocd:
+    for n in undocd:
+        print(f"undocumented telemetry name: {n} — add it to the Host telemetry tables")
+    sys.exit(1)
+print(f"telemetry doc coverage OK: {len(spans)} spans, {len(counters)} counters")
 EOF
 
 echo "=== docs: no dead relative links ==="
